@@ -1,0 +1,65 @@
+// Fig 8 (§7): measurement error in the Shadow-style full-network
+// simulation.
+//
+// Paper: (a) FlashFlow relay capacity error has median and IQR ~16%, with
+// network capacity error (Eq 3) of 14%; (b) FlashFlow's network weight
+// error (Eq 6) is 4% vs TorFlow's 29%, with >80% of relays under-weighted
+// by TorFlow.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "metrics/cdf.h"
+#include "shadowsim/experiment.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Figure 8 - Shadow-network measurement error",
+                "FF capacity error median/IQR ~16%, NCE 14%; NWE 4% (FF) "
+                "vs 29% (TF)");
+
+  const auto net = shadowsim::make_shadow_net({}, 20210615);
+  const auto cmp = shadowsim::run_measurement_comparison(net, 20210616);
+
+  metrics::Cdf cap_err{metrics::as_span(cmp.ff_capacity_error)};
+  metrics::Table table({"quantity", "ours", "paper"});
+  table.add_row({"FF relay capacity error, median",
+                 metrics::Table::pct(cap_err.quantile(0.5)), "16%"});
+  table.add_row({"FF relay capacity error, IQR",
+                 metrics::Table::pct(cap_err.quantile(0.75) -
+                                     cap_err.quantile(0.25)),
+                 "16%"});
+  table.add_row({"FF network capacity error (Eq 3)",
+                 metrics::Table::pct(cmp.ff_network_capacity_error), "14%"});
+  table.add_row({"FF network weight error (Eq 6)",
+                 metrics::Table::pct(cmp.ff_network_weight_error), "4%"});
+  table.add_row({"TF network weight error (Eq 6)",
+                 metrics::Table::pct(cmp.tf_network_weight_error), "29%"});
+
+  int tf_under = 0;
+  for (const double e : cmp.tf_relay_weight_error)
+    if (e < 1.0) ++tf_under;
+  table.add_row({"TF relays under-weighted",
+                 metrics::Table::pct(static_cast<double>(tf_under) /
+                                     cmp.tf_relay_weight_error.size()),
+                 ">80%"});
+  table.print(std::cout);
+
+  std::cout << "\nFig 8b-style log10(RWE) quantiles:\n";
+  for (const auto& [name, errors] :
+       {std::pair<const char*, const std::vector<double>&>{
+            "FlashFlow", cmp.ff_relay_weight_error},
+        {"TorFlow", cmp.tf_relay_weight_error}}) {
+    std::vector<double> logs;
+    for (const double e : errors)
+      if (e > 0) logs.push_back(std::log10(e));
+    metrics::Cdf cdf{metrics::as_span(logs)};
+    std::cout << "  " << name << ": p10=" << metrics::Table::num(
+                     cdf.quantile(0.1), 2)
+              << " p50=" << metrics::Table::num(cdf.quantile(0.5), 2)
+              << " p90=" << metrics::Table::num(cdf.quantile(0.9), 2)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Fig 9 (§7): client performance under TorFlow vs FlashFlow weights at
+// 100% / 115% / 130% client load.
+//
+// Paper headlines at 100% load: median TTLB decreases 15% / 29% / 37% for
+// 50 KiB / 1 MiB / 5 MiB; stdev decreases 55% / 61% / 41%; median timeout
+// rate decreases 100% (TF rates 5/10/23% across loads); network throughput
+// scales 15%/29% for FF vs 12%/18% for TF.
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/units.h"
+#include "shadowsim/experiment.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Figure 9 - load balancing performance (FF vs TF)",
+                "median TTLB -15/-29/-37%; stdev -55/-61/-41%; timeouts "
+                "-100%; better throughput scaling");
+
+  const auto net = shadowsim::make_shadow_net({}, 20210617);
+  const auto cmp = shadowsim::run_measurement_comparison(net, 20210618);
+
+  const std::vector<double> loads = {1.0, 1.15, 1.30};
+  const std::vector<std::string> load_names = {"100%", "115%", "130%"};
+
+  struct RunResult {
+    shadowsim::PerfResult perf;
+  };
+  std::vector<RunResult> ff_runs, tf_runs;
+  for (const double load : loads) {
+    shadowsim::PerfConfig config;
+    config.load_scale = load;
+    ff_runs.push_back(
+        {shadowsim::run_performance(net, cmp.flashflow_file, config, 7)});
+    tf_runs.push_back(
+        {shadowsim::run_performance(net, cmp.torflow_file, config, 7)});
+  }
+
+  using trafficgen::TransferSize;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto size = static_cast<TransferSize>(s);
+    metrics::Table table({"load", "TF median (s)", "FF median (s)",
+                          "median change", "TF stdev", "FF stdev",
+                          "stdev change"});
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      const auto tf = tf_runs[l].perf.bench.ttlb_for(size);
+      const auto ff = ff_runs[l].perf.bench.ttlb_for(size);
+      if (tf.empty() || ff.empty()) continue;
+      const double tf_med = metrics::median(metrics::as_span(tf));
+      const double ff_med = metrics::median(metrics::as_span(ff));
+      const double tf_sd = metrics::stdev(metrics::as_span(tf));
+      const double ff_sd = metrics::stdev(metrics::as_span(ff));
+      table.add_row({load_names[l], metrics::Table::num(tf_med),
+                     metrics::Table::num(ff_med),
+                     metrics::Table::pct(ff_med / tf_med - 1.0),
+                     metrics::Table::num(tf_sd), metrics::Table::num(ff_sd),
+                     metrics::Table::pct(tf_sd > 0 ? ff_sd / tf_sd - 1.0
+                                                   : 0.0)});
+    }
+    std::cout << "\nTTLB " << trafficgen::kTransferNames[s]
+              << " (paper medians at 100%: -15%/-29%/-37% by size):\n";
+    table.print(std::cout);
+  }
+
+  std::cout << "\nTransfer error (timeout) rates (paper: TF 5/10/23%, FF "
+               "0%):\n";
+  metrics::Table err({"load", "TorFlow", "FlashFlow"});
+  for (std::size_t l = 0; l < loads.size(); ++l)
+    err.add_row({load_names[l],
+                 metrics::Table::pct(tf_runs[l].perf.bench.error_rate()),
+                 metrics::Table::pct(ff_runs[l].perf.bench.error_rate())});
+  err.print(std::cout);
+
+  std::cout << "\nMedian network throughput (Gbit/s; paper: FF scales "
+               "+15%/+29%, TF +12%/+18%):\n";
+  metrics::Table thr({"load", "TorFlow", "FlashFlow", "FF scaling",
+                      "TF scaling"});
+  const double ff_base = metrics::median(
+      metrics::as_span(ff_runs[0].perf.throughput_series_bits));
+  const double tf_base = metrics::median(
+      metrics::as_span(tf_runs[0].perf.throughput_series_bits));
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const double ff_med = metrics::median(
+        metrics::as_span(ff_runs[l].perf.throughput_series_bits));
+    const double tf_med = metrics::median(
+        metrics::as_span(tf_runs[l].perf.throughput_series_bits));
+    thr.add_row({load_names[l],
+                 metrics::Table::num(net::to_gbit(tf_med), 2),
+                 metrics::Table::num(net::to_gbit(ff_med), 2),
+                 metrics::Table::pct(ff_med / ff_base - 1.0),
+                 metrics::Table::pct(tf_med / tf_base - 1.0)});
+  }
+  thr.print(std::cout);
+
+  // TTFB across all transfers (Fig 9a leftmost panel).
+  std::cout << "\nTTFB all transfers:\n";
+  metrics::Table ttfb({"load", "TF median (s)", "FF median (s)"});
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const auto tf = tf_runs[l].perf.bench.ttfb_all();
+    const auto ff = ff_runs[l].perf.bench.ttfb_all();
+    ttfb.add_row({load_names[l],
+                  metrics::Table::num(metrics::median(metrics::as_span(tf))),
+                  metrics::Table::num(
+                      metrics::median(metrics::as_span(ff)))});
+  }
+  ttfb.print(std::cout);
+  return 0;
+}

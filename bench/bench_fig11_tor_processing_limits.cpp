@@ -1,0 +1,52 @@
+// Fig 11 + §6.1 (Appendix C): Tor's processing limits in the lab.
+//
+// Paper: throughput grows with socket count and peaks at 1,248 Mbit/s with
+// 20 sockets (CPU 100% from 13 sockets); adding circuits on a single socket
+// does not raise throughput (KIST's single-socket limitation); throughput
+// declines gently past the peak from socket bookkeeping.
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/units.h"
+#include "tor/cpu_model.h"
+#include "tor/relay.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Figure 11 - Tor throughput vs sockets/circuits (lab)",
+                "peak 1,248 Mbit/s at 20 sockets; circuits curve flat at "
+                "the single-socket limit");
+
+  tor::RelayModel relay;
+  relay.nic_up_bits = relay.nic_down_bits = net::gbit(10);
+  relay.cpu = tor::CpuModel::lab();
+
+  metrics::Table table({"n", "sockets curve (Mbit/s)",
+                        "circuits curve (Mbit/s)"});
+  double peak = 0;
+  int peak_n = 0;
+  for (const int n : {1, 2, 5, 10, 13, 20, 40, 60, 80, 100}) {
+    // Sockets experiment: n busy client sockets under the normal scheduler.
+    const double sockets_curve = relay.normal_capacity(n);
+    // Circuits experiment: one socket regardless of circuit count.
+    const double circuits_curve = relay.normal_capacity(1);
+    if (sockets_curve > peak) {
+      peak = sockets_curve;
+      peak_n = n;
+    }
+    table.add_row({std::to_string(n),
+                   metrics::Table::num(net::to_mbit(sockets_curve), 0),
+                   metrics::Table::num(net::to_mbit(circuits_curve), 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npeak: " << metrics::Table::num(net::to_mbit(peak), 0)
+            << " Mbit/s at " << peak_n
+            << " sockets (paper: 1,248 Mbit/s at 20)\n";
+  std::cout << "CPU saturates (capacity = KIST aggregate) at ~"
+            << static_cast<int>(relay.cpu.capacity(13) /
+                                relay.sched.kist_per_socket_cap_bits)
+            << "+ sockets (paper: 13)\n";
+  return 0;
+}

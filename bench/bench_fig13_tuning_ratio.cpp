@@ -1,0 +1,59 @@
+// Fig 13 (Appendix D): ratio of default-kernel to tuned-kernel throughput
+// as the number of measurement sockets grows, per Internet host measuring
+// US-SW.
+//
+// Paper: the ratio starts below 1 (tuned helps a lone socket fill the BDP)
+// and approaches 1 as sockets aggregate enough buffer space; IN (highest
+// RTT) starts lowest.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/tcp_model.h"
+#include "net/topology.h"
+#include "net/units.h"
+
+using namespace flashflow;
+
+namespace {
+
+/// Aggregate deliverable rate toward US-SW with n sockets and a kernel
+/// profile, capped by the path NICs.
+double aggregate(const net::Topology& topo, net::HostId h, net::HostId us_sw,
+                 const net::KernelProfile& kernel, int n) {
+  const double per_socket = net::tcp_socket_throughput(
+      kernel, topo.rtt(h, us_sw), topo.loss(h, us_sw));
+  const double nic = std::min(topo.host(h).nic_up_bits,
+                              topo.host(us_sw).nic_down_bits);
+  return std::min(per_socket * n, nic);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 13 - default/tuned throughput ratio vs sockets",
+                "ratio < 1 for few sockets (lowest for IN), -> 1 as "
+                "sockets grow");
+
+  const auto topo = net::make_table1_hosts();
+  const net::HostId us_sw = topo.find("US-SW");
+  const std::vector<std::string> names = {"US-NW", "US-E", "IN", "NL"};
+
+  metrics::Table table({"sockets", "US-NW", "US-E", "IN", "NL"});
+  for (const int n : {1, 2, 4, 8, 16, 32, 64, 100}) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto& name : names) {
+      const net::HostId h = topo.find(name);
+      const double def = aggregate(
+          topo, h, us_sw, net::KernelProfile::default_profile(), n);
+      const double tuned = aggregate(
+          topo, h, us_sw, net::KernelProfile::tuned_profile(), n);
+      row.push_back(metrics::Table::num(def / tuned, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nAll columns rise toward 1.00 as aggregated socket "
+               "buffers cover the path BDP (paper Fig 13 shape).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 14 (Appendix E.1): Tor throughput at the US-SW target as each host
+// measures it alone, sweeping the number of measurement sockets.
+//
+// Paper: every host's curve rises, peaks, and gently declines (socket
+// bookkeeping); IN is the slowest to peak and does so at s = 160, which is
+// why the paper sets s = 160.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/measurement.h"
+#include "net/units.h"
+#include "tor/cpu_model.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Figure 14 - target throughput vs measurement sockets",
+                "all hosts saturate the ~890 Mbit/s target; IN is the "
+                "slowest to peak (s = 160)");
+
+  const auto topo = net::make_table1_hosts();
+  core::Params params;
+  tor::RelayModel relay;
+  relay.name = "target";
+  relay.nic_up_bits = relay.nic_down_bits = net::mbit(954);
+  relay.cpu = tor::CpuModel::us_sw();
+
+  const std::vector<std::string> names = {"US-NW", "US-E", "IN", "NL"};
+  const std::vector<int> socket_counts = {10, 20, 40, 80, 120, 160, 200,
+                                          250, 300};
+
+  metrics::Table table({"sockets", "US-NW", "US-E", "IN", "NL"});
+  std::vector<double> in_curve;
+  for (const int s : socket_counts) {
+    std::vector<std::string> row = {std::to_string(s)};
+    for (const auto& name : names) {
+      core::SlotRunner runner(topo, params,
+                              sim::Rng(777 + static_cast<unsigned>(s)));
+      const core::MeasurerSlot m{topo.find(name), net::gbit(2), s};
+      const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+      row.push_back(
+          metrics::Table::num(net::to_mbit(out.estimate_bits), 0));
+      if (name == "IN") in_curve.push_back(out.estimate_bits);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Where does IN peak?
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < in_curve.size(); ++i)
+    if (in_curve[i] > in_curve[best]) best = i;
+  std::cout << "\nIN peaks at s = " << socket_counts[best]
+            << " (paper: 160) with "
+            << metrics::Table::num(net::to_mbit(in_curve[best]), 0)
+            << " Mbit/s\n";
+  return 0;
+}

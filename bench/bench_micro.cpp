@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot paths under every
+// experiment: cell crypto, the event queue, the max-min fair solver, the
+// fluid network, and the statistics kernels.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "metrics/stats.h"
+#include "metrics/timeseries.h"
+#include "net/fairshare.h"
+#include "net/flownet.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "tor/circuit.h"
+
+namespace {
+
+using namespace flashflow;
+
+void BM_CellCipherApply(benchmark::State& state) {
+  tor::CellCipher cipher(0x1234);
+  std::array<std::uint8_t, tor::kCellPayloadSize> payload{};
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    cipher.apply(counter++, payload);
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tor::kCellPayloadSize);
+}
+BENCHMARK(BM_CellCipherApply);
+
+void BM_MeasurementEchoRoundTrip(benchmark::State& state) {
+  tor::MeasurementSender sender(42, 1e-5, sim::Rng(1));
+  tor::MeasurementTarget target(42, tor::MeasurementTarget::Behavior::kHonest);
+  for (auto _ : state) {
+    const auto cell = sender.next_cell(7);
+    const auto echo = target.handle(cell);
+    benchmark::DoNotOptimize(sender.check_echo(echo));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tor::kCellSize);
+}
+BENCHMARK(BM_MeasurementEchoRoundTrip);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    const auto id = queue.schedule(100, [] {});
+    queue.cancel(id);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simu;
+    for (int i = 0; i < 1000; ++i)
+      simu.schedule_at(i, [] {});
+    simu.run();
+    benchmark::DoNotOptimize(simu.events_dispatched());
+  }
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_MaxMinFair(benchmark::State& state) {
+  const auto flows_n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  std::vector<net::FairShareResource> resources(32);
+  for (auto& r : resources) r.capacity = rng.uniform(1e6, 1e9);
+  std::vector<net::FairShareFlow> flows(flows_n);
+  for (auto& f : flows) {
+    for (int u = 0; u < 3; ++u)
+      f.resources.push_back(
+          static_cast<std::size_t>(rng.uniform_int(0, 31)));
+    f.weight = rng.uniform(0.5, 4.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_fair_rates(resources, flows));
+  }
+}
+BENCHMARK(BM_MaxMinFair)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FlowNetAddRemove(benchmark::State& state) {
+  sim::Simulator simu;
+  net::FlowNet netw(simu);
+  std::vector<net::ResourceId> resources;
+  for (int i = 0; i < 16; ++i)
+    resources.push_back(netw.add_resource("r" + std::to_string(i), 1e9));
+  sim::Rng rng(9);
+  for (auto _ : state) {
+    net::FlowNet::FlowSpec spec;
+    spec.resources = {
+        resources[static_cast<std::size_t>(rng.uniform_int(0, 15))],
+        resources[static_cast<std::size_t>(rng.uniform_int(0, 15))]};
+    const auto id = netw.add_flow(std::move(spec));
+    netw.remove_flow(id);
+  }
+}
+BENCHMARK(BM_FlowNetAddRemove);
+
+void BM_MedianOf30(benchmark::State& state) {
+  sim::Rng rng(11);
+  std::vector<double> xs(30);
+  for (auto& x : xs) x = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::median(metrics::as_span(xs)));
+  }
+}
+BENCHMARK(BM_MedianOf30);
+
+void BM_TrailingMaxPush(benchmark::State& state) {
+  metrics::TrailingMax max(8760);
+  sim::Rng rng(13);
+  for (auto _ : state) {
+    max.push(rng.uniform(0.0, 1.0));
+    benchmark::DoNotOptimize(max.max());
+  }
+}
+BENCHMARK(BM_TrailingMaxPush);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(17);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1: the Internet vantage points, with measured bandwidth from the
+// saturating many-to-one UDP iPerf methodology (§6.1).
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/iperf.h"
+#include "net/units.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Table 1 - Internet experiment hosts",
+                "BW (measured): 954 / 946 / 941 / 1076 / 1611 Mbit/s");
+
+  const auto topo = net::make_table1_hosts();
+  net::IperfRunner iperf(topo, 20210610);
+
+  metrics::Table table({"host", "virtual", "type", "cores",
+                        "BW measured (Mbit/s)", "paper", "RTT to US-SW"});
+  const std::vector<std::string> paper = {"954", "946", "941", "1076",
+                                          "1611"};
+  const net::HostId us_sw = topo.find("US-SW");
+  for (std::size_t i = 0; i < net::table1_host_names().size(); ++i) {
+    const auto& name = net::table1_host_names()[i];
+    const net::HostId h = topo.find(name);
+    const auto report = iperf.run_saturate_udp(h, 60);
+    const auto& host = topo.host(h);
+    table.add_row(
+        {name, host.virtual_host ? "Yes" : "No",
+         host.datacenter ? "D.C." : "Res.", std::to_string(host.cpu_cores),
+         metrics::Table::num(net::to_mbit(report.median_bits()), 0), paper[i],
+         h == us_sw ? "0 ms"
+                    : metrics::Table::num(topo.rtt(us_sw, h) * 1000, 0) +
+                          " ms"});
+  }
+  table.print(std::cout);
+  return 0;
+}

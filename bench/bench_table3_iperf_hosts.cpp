@@ -1,0 +1,58 @@
+// Table 3 (Appendix B): pairwise bidirectional TCP/UDP iPerf between each
+// host and US-SW, plus the saturating UDP column.
+//
+// Paper ranges (Mbit/s): US-NW TCP 176-787 / UDP 740-945; US-E TCP 874-919
+// / UDP 943-944; IN TCP 677-819 / UDP 925-955; NL TCP 827-880 / UDP
+// 952-956. (Our TCP column is window-model-limited; see EXPERIMENTS.md.)
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "net/iperf.h"
+#include "net/units.h"
+
+using namespace flashflow;
+
+int main() {
+  bench::header("Table 3 - pairwise iPerf throughput vs US-SW",
+                "UDP > TCP everywhere; US-NW highly variable; saturating "
+                "UDP reproduces Table 1");
+
+  const auto topo = net::make_table1_hosts();
+  net::IperfRunner iperf(topo, 20210611);
+  const net::HostId us_sw = topo.find("US-SW");
+
+  metrics::Table table({"host", "TCP (Mbit/s)", "UDP (Mbit/s)",
+                        "UDP many (Mbit/s)", "paper TCP", "paper UDP"});
+  const std::vector<std::string> paper_tcp = {"176-787", "874-919",
+                                              "677-819", "827-880"};
+  const std::vector<std::string> paper_udp = {"740-945", "943-944",
+                                              "925-955", "952-956"};
+  const std::vector<std::string> names = {"US-NW", "US-E", "IN", "NL"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const net::HostId h = topo.find(names[i]);
+    // 24 daily runs as in the paper; report min-max of medians.
+    double tcp_lo = 1e18, tcp_hi = 0, udp_lo = 1e18, udp_hi = 0;
+    for (int run = 0; run < 24; ++run) {
+      const double tcp =
+          iperf.run_bidirectional(h, us_sw, 60, /*udp=*/false).median_bits();
+      const double udp =
+          iperf.run_bidirectional(h, us_sw, 60, /*udp=*/true).median_bits();
+      tcp_lo = std::min(tcp_lo, tcp);
+      tcp_hi = std::max(tcp_hi, tcp);
+      udp_lo = std::min(udp_lo, udp);
+      udp_hi = std::max(udp_hi, udp);
+    }
+    const double many =
+        iperf.run_saturate_udp(h, 60).median_bits();
+    table.add_row({names[i],
+                   metrics::Table::num(net::to_mbit(tcp_lo), 0) + "-" +
+                       metrics::Table::num(net::to_mbit(tcp_hi), 0),
+                   metrics::Table::num(net::to_mbit(udp_lo), 0) + "-" +
+                       metrics::Table::num(net::to_mbit(udp_hi), 0),
+                   metrics::Table::num(net::to_mbit(many), 0),
+                   paper_tcp[i], paper_udp[i]});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Secure load balancing end to end (§7): measure a network with FlashFlow
+// and with TorFlow, feed both weight sets to the performance simulation,
+// and compare client experience.
+//
+//   ./examples/secure_load_balancing
+#include <iostream>
+
+#include "metrics/stats.h"
+#include "net/units.h"
+#include "shadowsim/experiment.h"
+
+using namespace flashflow;
+
+int main() {
+  shadowsim::ShadowNetParams net_params;
+  net_params.relays = 150;  // keep the example quick
+  const auto network = shadowsim::make_shadow_net(net_params, 21);
+
+  std::cout << "Measuring " << network.relays.size()
+            << " relays with FlashFlow (3x1 Gbit/s team) and TorFlow...\n";
+  const auto cmp = shadowsim::run_measurement_comparison(network, 22);
+  std::cout << "  network weight error: FlashFlow "
+            << cmp.ff_network_weight_error * 100 << "%, TorFlow "
+            << cmp.tf_network_weight_error * 100 << "%\n";
+
+  shadowsim::PerfConfig config;
+  config.sim_seconds = 600;
+  std::cout << "\nRunning benchmark clients under each weight set...\n";
+  const auto ff = shadowsim::run_performance(network, cmp.flashflow_file,
+                                             config, 23);
+  const auto tf = shadowsim::run_performance(network, cmp.torflow_file,
+                                             config, 23);
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto size = static_cast<trafficgen::TransferSize>(s);
+    const auto ff_ttlb = ff.bench.ttlb_for(size);
+    const auto tf_ttlb = tf.bench.ttlb_for(size);
+    if (ff_ttlb.empty() || tf_ttlb.empty()) continue;
+    const double ff_med = metrics::median(metrics::as_span(ff_ttlb));
+    const double tf_med = metrics::median(metrics::as_span(tf_ttlb));
+    std::cout << "  " << trafficgen::kTransferNames[s]
+              << " median TTLB: TorFlow " << tf_med << " s -> FlashFlow "
+              << ff_med << " s (" << (ff_med / tf_med - 1.0) * 100
+              << "%)\n";
+  }
+  std::cout << "  timeout rate: TorFlow " << tf.bench.error_rate() * 100
+            << "% -> FlashFlow " << ff.bench.error_rate() * 100 << "%\n";
+  std::cout << "\nFlashFlow's accurate capacities balance the same client "
+               "load with fewer congested relays (paper Fig 9).\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// The §3.4 relay speed-test experiment (Fig 5).
+//
+// Floods every live relay to capacity for a test window, which pushes
+// relays' observed-bandwidth estimates up toward their true capacities.
+// Network capacity estimates (sum of advertised bandwidths) rise by ~50%;
+// TorFlow's lagging weights temporarily disagree with the improved
+// capacity proxies, so network weight error rises by 5-10% and recovers
+// after the weights catch up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/population.h"
+
+namespace flashflow::analysis {
+
+struct SpeedTestConfig {
+  PopulationParams population;
+  int warmup_days = 30;          // settle observed-bandwidth estimates
+  int test_duration_hours = 51;  // paper: "just over 2 days (51 hours)"
+  int cooldown_days = 10;        // watch the decay (5-day history + lag)
+};
+
+struct SpeedTestResult {
+  /// Hourly sum of advertised bandwidths (the Fig 5 "Capacity" curve).
+  std::vector<double> capacity_series_bits;
+  /// Hourly network weight error, Eq 6 with the month window.
+  std::vector<double> weight_error_series;
+  std::int64_t test_start_hour = 0;
+  std::int64_t test_end_hour = 0;
+  double baseline_capacity_bits = 0;  // mean over the last pre-test day
+  double peak_capacity_bits = 0;      // max during/after the test
+  double baseline_weight_error = 0;   // mean over the last pre-test day
+  double peak_weight_error = 0;       // max during the test window (+lag)
+};
+
+SpeedTestResult run_speed_test_experiment(const SpeedTestConfig& config,
+                                          std::uint64_t seed);
+
+}  // namespace flashflow::analysis

@@ -1,0 +1,60 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace flashflow::core {
+
+std::vector<double> allocate_greedy(std::span<const double> residual_caps,
+                                    double required_bits) {
+  if (required_bits < 0.0)
+    throw std::invalid_argument("allocate_greedy: negative requirement");
+  const double total =
+      std::accumulate(residual_caps.begin(), residual_caps.end(), 0.0);
+  if (total + 1e-6 < required_bits)
+    throw std::runtime_error("allocate_greedy: insufficient team capacity");
+
+  std::vector<double> alloc(residual_caps.size(), 0.0);
+  std::vector<double> residual(residual_caps.begin(), residual_caps.end());
+  double remaining = required_bits;
+  while (remaining > 1e-9) {
+    // Measurer with the most residual capacity.
+    const auto it = std::max_element(residual.begin(), residual.end());
+    const auto idx = static_cast<std::size_t>(it - residual.begin());
+    if (*it <= 0.0) break;  // defensive; total was checked above
+    const double take = std::min(*it, remaining);
+    alloc[idx] += take;
+    residual[idx] -= take;
+    remaining -= take;
+  }
+  return alloc;
+}
+
+std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
+                                       std::span<const int> measurer_cores,
+                                       const Params& params) {
+  if (allocations.size() != measurer_cores.size())
+    throw std::invalid_argument("make_shares: size mismatch");
+  std::size_t participants = 0;
+  for (const double a : allocations)
+    if (a > 0.0) ++participants;
+
+  std::vector<MeasurerShare> shares;
+  shares.reserve(allocations.size());
+  for (std::size_t i = 0; i < allocations.size(); ++i) {
+    MeasurerShare s;
+    s.measurer_index = i;
+    s.allocated_bits = allocations[i];
+    if (allocations[i] > 0.0) {
+      s.processes = std::max(1, measurer_cores[i]);
+      s.sockets = participants > 0
+                      ? static_cast<int>(params.sockets / participants)
+                      : 0;
+    }
+    shares.push_back(s);
+  }
+  return shares;
+}
+
+}  // namespace flashflow::core

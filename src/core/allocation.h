@@ -1,0 +1,41 @@
+// Measurer capacity allocation (§4.2).
+//
+// To measure a relay with capacity guess z0, the BWAuth must allocate
+// f * z0 total capacity across its measurers, where f is the excess factor.
+// Allocation is greedy: repeatedly assign the measurer with the most
+// residual capacity as much as it has (or as much as is still needed).
+// Each measurer runs one measuring Tor process per otherwise-idle CPU core
+// (at least one), each rate-limited to a_i / k_i, with an even share of the
+// team's s sockets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+
+namespace flashflow::core {
+
+struct MeasurerShare {
+  std::size_t measurer_index = 0;
+  double allocated_bits = 0;  // a_i
+  int processes = 0;          // k_i
+  int sockets = 0;            // share of the team's s sockets
+};
+
+/// Greedily allocates `required_bits` across measurers with the given
+/// residual capacities. Returns per-measurer allocations a_i (aligned with
+/// `residual_caps`; zero entries mean "not participating"). Throws
+/// std::runtime_error if the total residual capacity is insufficient.
+std::vector<double> allocate_greedy(std::span<const double> residual_caps,
+                                    double required_bits);
+
+/// Expands raw allocations into full shares: process counts (one per core,
+/// at least one, only for participating measurers) and socket splits
+/// (participants share `params.sockets` evenly, as the paper prescribes
+/// s/m sockets per measurer and s/(m k_i) per process).
+std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
+                                       std::span<const int> measurer_cores,
+                                       const Params& params);
+
+}  // namespace flashflow::core

@@ -1,0 +1,111 @@
+#include "core/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "net/units.h"
+
+namespace flashflow::core {
+
+namespace {
+double binomial_pmf(int n, int k, double p) {
+  // log-space for stability: C(n,k) p^k (1-p)^(n-k)
+  double log_c = 0.0;
+  for (int i = 1; i <= k; ++i)
+    log_c += std::log(static_cast<double>(n - k + i)) -
+             std::log(static_cast<double>(i));
+  double log_p = 0.0;
+  if (k > 0) {
+    if (p <= 0.0) return 0.0;
+    log_p += k * std::log(p);
+  }
+  if (n - k > 0) {
+    if (p >= 1.0) return 0.0;
+    log_p += (n - k) * std::log1p(-p);
+  }
+  return std::exp(log_c + log_p);
+}
+}  // namespace
+
+double part_time_failure_probability(int n_bwauths, double q) {
+  if (n_bwauths <= 0) throw std::invalid_argument("need >= 1 BWAuth");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q out of [0,1]");
+  // Attack fails when the median lands on a low-capacity measurement: at
+  // least ceil((n+1)/2) BWAuths measured during a low slot, each with
+  // independent probability 1-q.
+  const int needed = (n_bwauths + 2) / 2;  // ceil((n+1)/2)
+  double prob = 0.0;
+  for (int k = needed; k <= n_bwauths; ++k)
+    prob += binomial_pmf(n_bwauths, k, 1.0 - q);
+  return prob;
+}
+
+double simulate_part_time_attack(int n_bwauths, double q, int trials,
+                                 std::uint64_t seed) {
+  if (trials <= 0) throw std::invalid_argument("trials <= 0");
+  sim::Rng rng(seed);
+  int failures = 0;
+  std::vector<double> estimates;
+  for (int trial = 0; trial < trials; ++trial) {
+    estimates.clear();
+    for (int b = 0; b < n_bwauths; ++b) {
+      // The schedule is secret, so the relay's high-capacity window covers
+      // a uniformly random fraction q of each BWAuth's slot choice.
+      estimates.push_back(rng.chance(q) ? 1.0 : 0.0);
+    }
+    const double med =
+        metrics::median({estimates.data(), estimates.size()});
+    if (med < 1.0) ++failures;
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+InflationResult background_lie_advantage(const net::Topology& topo,
+                                         const Params& params,
+                                         const RelayTarget& target,
+                                         const Team& team,
+                                         std::uint64_t seed) {
+  InflationResult result;
+  BWAuth honest_auth(topo, params, team, net::mbit(51), seed);
+  RelayTarget honest = target;
+  honest.behavior = TargetBehavior::kHonest;
+  result.honest_estimate_bits =
+      honest_auth.measure_relay(honest).estimate_bits;
+
+  BWAuth lying_auth(topo, params, team, net::mbit(51), seed);
+  RelayTarget lying = target;
+  lying.behavior = TargetBehavior::kLieAboutBackground;
+  result.lying_estimate_bits = lying_auth.measure_relay(lying).estimate_bits;
+
+  result.advantage = result.honest_estimate_bits > 0.0
+                         ? result.lying_estimate_bits /
+                               result.honest_estimate_bits
+                         : 0.0;
+  return result;
+}
+
+int sybil_queue_delay_slots(int sybil_count, double sybil_estimate_bits,
+                            double benign_estimate_bits,
+                            double spare_capacity_per_slot_bits,
+                            const Params& params) {
+  if (spare_capacity_per_slot_bits <= 0.0)
+    throw std::invalid_argument("no spare capacity");
+  const double f = params.excess_factor();
+  // FCFS: the benign relay waits for all sybils ahead of it.
+  double pending = f * sybil_estimate_bits * sybil_count;
+  int slot = 0;
+  while (true) {
+    double room = spare_capacity_per_slot_bits;
+    // Sybils drain first (they arrived earlier).
+    const double drained = std::min(pending, room);
+    pending -= drained;
+    room -= drained;
+    if (pending <= 0.0 && room >= f * benign_estimate_bits) return slot;
+    ++slot;
+  }
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,47 @@
+// Adversarial strategies against FlashFlow and the §5 security math.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bwauth.h"
+#include "core/params.h"
+
+namespace flashflow::core {
+
+/// Analytic failure probability of the part-time-capacity attack: a relay
+/// provisions full capacity only during a fraction q of slots; with n
+/// BWAuths taking the median, the attack fails when at least ceil((n+1)/2)
+/// BWAuths hit a low-capacity slot: sum_{k>=ceil((n+1)/2)} P[B(n,1-q)=k].
+double part_time_failure_probability(int n_bwauths, double q);
+
+/// Monte-Carlo estimate of the same quantity: each BWAuth samples an
+/// independent uniformly random slot (the schedule is secret), and the
+/// median estimate succeeds for the attacker only if it reflects the high
+/// capacity. Returns the empirical attack-failure rate.
+double simulate_part_time_attack(int n_bwauths, double q, int trials,
+                                 std::uint64_t seed);
+
+/// Measures the capacity-inflation advantage of the background-traffic lie
+/// (§5): runs honest and lying measurements of the same relay and returns
+/// estimate_lying / estimate_honest. Bounded by 1/(1-r).
+struct InflationResult {
+  double honest_estimate_bits = 0;
+  double lying_estimate_bits = 0;
+  double advantage = 0;
+};
+InflationResult background_lie_advantage(const net::Topology& topo,
+                                         const Params& params,
+                                         const RelayTarget& target,
+                                         const Team& team,
+                                         std::uint64_t seed);
+
+/// Sybil-flood on the new-relay queue (§5 "it is difficult ... to prevent
+/// relays from being measured by flooding"): with `sybil_count` new sybils
+/// arriving ahead of one benign new relay, returns the delay (in slots)
+/// until the benign relay is measured, given per-slot spare capacity.
+int sybil_queue_delay_slots(int sybil_count, double sybil_estimate_bits,
+                            double benign_estimate_bits,
+                            double spare_capacity_per_slot_bits,
+                            const Params& params);
+
+}  // namespace flashflow::core

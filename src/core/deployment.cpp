@@ -1,0 +1,44 @@
+#include "core/deployment.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "net/units.h"
+
+namespace flashflow::core {
+
+DeploymentResult run_deployment(const net::Topology& topo,
+                                const Params& params,
+                                std::span<const net::HostId> team_hosts,
+                                std::span<const RelayTarget> targets,
+                                int n_bwauths, std::uint64_t shared_seed) {
+  if (n_bwauths < 1)
+    throw std::invalid_argument("run_deployment: need >= 1 BWAuth");
+
+  DeploymentResult result;
+  sim::Rng seed_source(shared_seed);
+  for (int b = 0; b < n_bwauths; ++b) {
+    // Each BWAuth's randomness is a substream of the shared period seed,
+    // tagged by its identity (§4.3).
+    sim::Rng bwauth_rng =
+        seed_source.fork("bwauth-" + std::to_string(b));
+    Team team(topo,
+              std::vector<net::HostId>(team_hosts.begin(), team_hosts.end()));
+    team.measure_measurers(bwauth_rng());
+    BWAuth bwauth(topo, params, std::move(team), net::mbit(51),
+                  bwauth_rng());
+    result.per_bwauth_files.push_back(bwauth.measure_network(targets));
+  }
+
+  result.consensus = tor::build_consensus(
+      0, {result.per_bwauth_files.data(), result.per_bwauth_files.size()});
+
+  result.median_capacities_bits.reserve(targets.size());
+  for (const auto& target : targets)
+    result.median_capacities_bits.push_back(tor::median_capacity(
+        {result.per_bwauth_files.data(), result.per_bwauth_files.size()},
+        target.model.name));
+  return result;
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,40 @@
+// Multi-BWAuth deployment (§4 "Trust and Diversity", §4.3).
+//
+// Multiple BWAuths, each with its own measurement team, independently
+// measure every relay during a period; each derives its secret randomized
+// schedule from the shared seed combined with its identity, and the
+// DirAuths place the *median* of the BWAuths' values in the consensus.
+// The median is the defense against a minority of compromised BWAuths and
+// against relays that provision capacity only part-time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bwauth.h"
+#include "tor/descriptor.h"
+
+namespace flashflow::core {
+
+struct DeploymentResult {
+  /// One bandwidth file per BWAuth, in BWAuth order.
+  std::vector<tor::BandwidthFile> per_bwauth_files;
+  /// The consensus built from the median across BWAuths.
+  tor::Consensus consensus;
+  /// Median capacity per relay (aligned with `targets`).
+  std::vector<double> median_capacities_bits;
+};
+
+/// Runs `n_bwauths` independent measurement campaigns over the same relay
+/// set and aggregates them with the DirAuths' median rule. Each BWAuth
+/// uses the same team hosts (measurer capacities are re-estimated per
+/// BWAuth) but an independent seed substream; `shared_seed` plays the role
+/// of Tor's secure-randomness output for the period.
+DeploymentResult run_deployment(const net::Topology& topo,
+                                const Params& params,
+                                std::span<const net::HostId> team_hosts,
+                                std::span<const RelayTarget> targets,
+                                int n_bwauths, std::uint64_t shared_seed);
+
+}  // namespace flashflow::core

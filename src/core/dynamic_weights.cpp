@@ -1,0 +1,44 @@
+#include "core/dynamic_weights.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace flashflow::core {
+
+tor::BandwidthFile apply_dynamic_adjustments(
+    const tor::BandwidthFile& flashflow_file,
+    std::span<const DynamicSignal> signals,
+    const DynamicWeightParams& params) {
+  if (params.min_weight_fraction < 0.0 || params.min_weight_fraction > 1.0 ||
+      params.beta < 0.0 || params.beta > 1.0)
+    throw std::invalid_argument("apply_dynamic_adjustments: bad params");
+
+  std::map<std::string, double> utilization;
+  for (const auto& s : signals)
+    utilization[s.fingerprint] = std::clamp(s.utilization, 0.0, 1.0);
+
+  tor::BandwidthFile out = flashflow_file;
+  for (auto& entry : out) {
+    const auto it = utilization.find(entry.fingerprint);
+    if (it == utilization.end()) continue;  // no signal: full weight
+    const double factor = std::max(params.min_weight_fraction,
+                                   1.0 - params.beta * it->second);
+    // Weights derive from the secure capacity and only go down.
+    entry.weight = std::min(entry.weight, entry.capacity_bits * factor);
+  }
+  return out;
+}
+
+bool adjustment_is_sound(const tor::BandwidthFile& original,
+                         const tor::BandwidthFile& adjusted) {
+  if (original.size() != adjusted.size()) return false;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i].fingerprint != adjusted[i].fingerprint) return false;
+    if (adjusted[i].weight > original[i].weight + 1e-9) return false;
+    if (adjusted[i].capacity_bits != original[i].capacity_bits) return false;
+  }
+  return true;
+}
+
+}  // namespace flashflow::core

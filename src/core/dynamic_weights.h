@@ -1,0 +1,50 @@
+// Secure dynamic weight adjustment (§9 future work).
+//
+// FlashFlow capacities give each relay a *secure ceiling*. Dynamic,
+// possibly self-reported signals (current utilization, CPU load) can then
+// adjust load-balancing weights — but only DOWNWARD from the measured
+// capacity. A relay lying about its utilization can thus only reduce its
+// own weight, never inflate it: "FlashFlow would securely limit the weight
+// of any relay while allowing for improved performance via adjustments
+// based on insecure dynamic measurements."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tor/authority.h"
+
+namespace flashflow::core {
+
+struct DynamicSignal {
+  std::string fingerprint;
+  /// Self-reported fraction of capacity currently consumed, in [0, 1].
+  /// Values outside the range are clamped (they cannot help the reporter).
+  double utilization = 0.0;
+};
+
+struct DynamicWeightParams {
+  /// Weight floor as a fraction of the secure capacity weight, so a relay
+  /// claiming 100% utilization still receives some traffic (and thus can
+  /// be observed recovering).
+  double min_weight_fraction = 0.2;
+  /// How strongly utilization reduces the weight: w = cap * (1 - beta*u).
+  double beta = 0.8;
+};
+
+/// Applies dynamic adjustments to a FlashFlow bandwidth file. For each
+/// relay, the output weight is
+///   capacity * max(min_weight_fraction, 1 - beta * clamp(u, 0, 1)).
+/// Relays without a signal keep their full capacity weight. Capacities in
+/// the file are never modified (they remain the secure measurement).
+tor::BandwidthFile apply_dynamic_adjustments(
+    const tor::BandwidthFile& flashflow_file,
+    std::span<const DynamicSignal> signals,
+    const DynamicWeightParams& params = {});
+
+/// The §9 security property, checkable: no output weight exceeds the
+/// secure capacity weight.
+bool adjustment_is_sound(const tor::BandwidthFile& original,
+                         const tor::BandwidthFile& adjusted);
+
+}  // namespace flashflow::core

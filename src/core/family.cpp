@@ -1,0 +1,41 @@
+#include "core/family.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace flashflow::core {
+
+FamilyMeasurement measure_family(
+    const net::Topology& topo, const Params& params,
+    std::span<const SlotRunner::ConcurrentTarget> targets,
+    std::span<const double> individual_estimates_bits,
+    const FamilyParams& family_params, std::uint64_t seed) {
+  if (targets.empty() ||
+      targets.size() != individual_estimates_bits.size())
+    throw std::invalid_argument("measure_family: bad inputs");
+
+  SlotRunner runner(topo, params, sim::Rng(seed));
+  const auto outcomes = runner.run_concurrent(targets);
+
+  FamilyMeasurement result;
+  result.member_estimates_bits.reserve(outcomes.size());
+  for (const auto& out : outcomes) {
+    result.member_estimates_bits.push_back(out.estimate_bits);
+    result.combined_bits += out.estimate_bits;
+  }
+
+  const double individual_sum =
+      std::accumulate(individual_estimates_bits.begin(),
+                      individual_estimates_bits.end(), 0.0);
+  result.co_located =
+      individual_sum > 0.0 &&
+      result.combined_bits <
+          family_params.co_location_threshold * individual_sum;
+  result.per_member_capacity_bits =
+      result.co_located
+          ? result.combined_bits / static_cast<double>(outcomes.size())
+          : 0.0;  // keep individual estimates when not co-located
+  return result;
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,51 @@
+// Co-located relay (MyFamily / Sybil) handling (§5 "Limitations").
+//
+// An adversary with several IP addresses on one machine can run multiple
+// relays that FlashFlow would measure at *separate* times, each obtaining
+// the full machine's capacity. The paper's mitigation: measure declared
+// MyFamily sets (or suspected Sybils) *simultaneously*; if they share
+// hardware, the simultaneous estimates reveal the shared ceiling, and the
+// capacity is averaged over the members of the connected set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bwauth.h"
+
+namespace flashflow::core {
+
+struct FamilyMeasurement {
+  /// Per-member estimates from the simultaneous measurement.
+  std::vector<double> member_estimates_bits;
+  /// Sum of the simultaneous estimates: the shared machine's capacity if
+  /// co-located, or the sum of independent capacities otherwise.
+  double combined_bits = 0;
+  /// True when the simultaneous sum is far below the sum of the members'
+  /// individual (separate-time) estimates — the §5 co-location signature.
+  bool co_located = false;
+  /// Capacity value to assign each member: combined/n when co-located
+  /// (the averaging mitigation), else the individual estimates stand.
+  double per_member_capacity_bits = 0;
+};
+
+struct FamilyParams {
+  /// Declare co-location when the simultaneous sum is below this fraction
+  /// of the sum of individual estimates.
+  double co_location_threshold = 0.7;
+};
+
+/// Measures a family of relays simultaneously with one SlotRunner pass and
+/// compares against their individual estimates.
+///
+/// `individual_estimates_bits` are the members' existing (separate-time)
+/// capacity estimates; `targets` describe the members, which may share a
+/// host (true co-location) or not.
+FamilyMeasurement measure_family(
+    const net::Topology& topo, const Params& params,
+    std::span<const SlotRunner::ConcurrentTarget> targets,
+    std::span<const double> individual_estimates_bits,
+    const FamilyParams& family_params, std::uint64_t seed);
+
+}  // namespace flashflow::core

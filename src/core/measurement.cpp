@@ -1,0 +1,231 @@
+#include "core/measurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/verification.h"
+#include "metrics/stats.h"
+#include "net/fairshare.h"
+#include "net/tcp_model.h"
+#include "net/units.h"
+#include "tor/cell.h"
+
+namespace flashflow::core {
+
+double clamp_background(double reported_y_bits, double x_bits,
+                        double ratio_r) {
+  if (ratio_r < 0.0 || ratio_r >= 1.0)
+    throw std::invalid_argument("clamp_background: bad ratio");
+  return std::min(reported_y_bits, x_bits * ratio_r / (1.0 - ratio_r));
+}
+
+SlotRunner::SlotRunner(const net::Topology& topo, Params params, sim::Rng rng)
+    : topo_(topo), params_(params), rng_(std::move(rng)) {}
+
+double SlotRunner::offered_rate(const MeasurerSlot& m,
+                                net::HostId relay_host) const {
+  if (m.sockets <= 0 || m.allocated_bits <= 0.0) return 0.0;
+  double rtt = topo_.rtt(m.host, relay_host);
+  if (rtt <= 0.0) rtt = 0.0005;  // co-located hosts: sub-millisecond path
+  const double per_socket = net::tcp_socket_throughput(
+      topo_.host(m.host).kernel, rtt, topo_.loaded_loss(m.host, relay_host));
+  return std::min(m.allocated_bits, per_socket * m.sockets);
+}
+
+SlotOutcome SlotRunner::run(const tor::RelayModel& relay,
+                            net::HostId relay_host,
+                            std::span<const MeasurerSlot> team,
+                            TargetBehavior behavior) {
+  ConcurrentTarget target;
+  target.relay = relay;
+  target.host = relay_host;
+  target.team.assign(team.begin(), team.end());
+  target.behavior = behavior;
+  return run_concurrent({&target, 1}).front();
+}
+
+std::vector<SlotOutcome> SlotRunner::run_concurrent(
+    std::span<const ConcurrentTarget> targets) {
+  const int t_seconds = params_.slot_seconds;
+  const std::size_t n_targets = targets.size();
+
+  // Noise processes, one per target, plus per-slot condition factors.
+  //
+  // Relay-side: a slot-long capacity factor plus per-second wobble and
+  // shallow congestion episodes — the relay's own weather. Together these
+  // drive the run-to-run spread in Fig 6.
+  //
+  // Path-side: each measurer's *delivery* toward the target carries its
+  // own slot-long factor (transit congestion between measurer and relay).
+  // This is what the multiplier m buys headroom against: with allocation
+  // m*z0, a delivery dip to fraction d still saturates the relay as long
+  // as m*d >= 1, which is why m = 2.25 eliminates the low outliers of
+  // Fig 15 while m = 1.5 does not.
+  std::vector<tor::RelayNoise> noise;
+  std::vector<double> slot_factor;
+  std::vector<std::vector<double>> path_factor(n_targets);
+  noise.reserve(n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    noise.emplace_back(tor::RelayNoise::Params{},
+                       rng_.fork(targets[t].relay.name + "/noise"));
+    slot_factor.push_back(
+        std::clamp(1.0 + rng_.normal(-0.01, 0.04), 0.85, 1.04));
+    path_factor[t].reserve(targets[t].team.size());
+    for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
+      // Occasionally a measurer's transit path has a bad half hour and
+      // delivers well under its allocation; most slots see mild weather.
+      const double factor =
+          rng_.chance(0.12)
+              ? rng_.uniform(0.36, 0.70)
+              : std::clamp(1.0 + rng_.normal(-0.02, 0.06), 0.75, 1.02);
+      path_factor[t].push_back(factor);
+    }
+  }
+
+  // Total sockets pointed at each target (drives the CPU overhead model).
+  std::vector<int> sockets_at_target(n_targets, 0);
+  for (std::size_t t = 0; t < n_targets; ++t)
+    for (const auto& m : targets[t].team)
+      sockets_at_target[t] += m.sockets;
+
+  std::vector<SlotOutcome> outcomes(n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t)
+    outcomes[t].x_by_measurer.resize(targets[t].team.size());
+
+  // Shared resources: measurer NIC (min of up/down since echo traffic rides
+  // both directions at the measured rate) and target-host NIC.
+  // Resource layout: [measurer hosts..., target hosts..., per-target relay].
+  std::vector<net::HostId> hosts;  // de-duplicated measurer + target hosts
+  const auto host_resource = [&hosts](net::HostId h) {
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      if (hosts[i] == h) return i;
+    hosts.push_back(h);
+    return hosts.size() - 1;
+  };
+  // First pass to assign indices deterministically.
+  for (const auto& target : targets) {
+    host_resource(target.host);
+    for (const auto& m : target.team) host_resource(m.host);
+  }
+  const std::size_t relay_resource_base = hosts.size();
+
+  for (int second = 0; second < t_seconds; ++second) {
+    // Relay-internal capacity this second (CPU, rate limit + burst, noise).
+    std::vector<double> relay_capacity(n_targets);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const auto& relay = targets[t].relay;
+      // ground_truth() composes NIC/CPU/rate-limit including the token
+      // bucket's quantization shave; the first second additionally spends
+      // the accumulated bucket (Fig 7's spike).
+      double cap = relay.ground_truth(sockets_at_target[t]);
+      if (relay.rate_limit_bits > 0.0 && second == 0)
+        cap += relay.rate_limit_bits * relay.burst_seconds;
+      // Noise plus a small absolute jitter that dominates for tiny relays.
+      cap = cap * slot_factor[t] * noise[t].next_factor() +
+            rng_.normal(0.0, net::mbit(0.15));
+      relay_capacity[t] = std::max(cap, 0.0);
+    }
+
+    // The relay reserves the ratio-r background allowance up front (§4.1:
+    // it sends as much normal traffic as the maximum ratio allows), then
+    // the measurement flows share the rest of the capacity and the NICs.
+    std::vector<double> x_t(n_targets, 0.0), y_t(n_targets, 0.0);
+    std::vector<std::vector<double>> x_it(n_targets);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      // A relay lying about its background sends none at all, keeping the
+      // capacity for the measurement.
+      const double demand =
+          targets[t].behavior == TargetBehavior::kLieAboutBackground
+              ? 0.0
+              : targets[t].relay.background_demand_bits;
+      y_t[t] =
+          std::min(demand, targets[t].relay.ratio_r * relay_capacity[t]);
+    }
+
+    std::vector<net::FairShareResource> resources(relay_resource_base +
+                                                  n_targets);
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      const auto& host = topo_.host(hosts[h]);
+      resources[h].capacity = std::min(host.nic_up_bits, host.nic_down_bits);
+    }
+    for (std::size_t t = 0; t < n_targets; ++t)
+      resources[relay_resource_base + t].capacity =
+          std::max(relay_capacity[t] - y_t[t], 0.0);
+
+    std::vector<net::FairShareFlow> flows;
+    std::vector<std::pair<std::size_t, std::size_t>> flow_ids;  // (t, i)
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
+        const auto& m = targets[t].team[i];
+        const double offered =
+            offered_rate(m, targets[t].host) * path_factor[t][i];
+        if (offered <= 0.0) continue;
+        net::FairShareFlow f;
+        f.resources = {host_resource(m.host), host_resource(targets[t].host),
+                       relay_resource_base + t};
+        f.weight = std::max(1, m.sockets);
+        f.cap = offered;
+        flows.push_back(std::move(f));
+        flow_ids.emplace_back(t, i);
+      }
+    }
+    const auto rates = net::max_min_fair_rates(resources, flows);
+
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      x_t[t] = 0.0;
+      x_it[t].assign(targets[t].team.size(), 0.0);
+    }
+    for (std::size_t k = 0; k < flow_ids.size(); ++k) {
+      const auto [t, i] = flow_ids[k];
+      x_it[t][i] = rates[k];
+      x_t[t] += rates[k];
+    }
+    // The forwarded background also satisfies the ratio rule against the
+    // measurement traffic that actually materialized.
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const auto& relay = targets[t].relay;
+      y_t[t] = std::min(y_t[t],
+                        x_t[t] * relay.ratio_r / (1.0 - relay.ratio_r));
+    }
+
+    // Record per-second outcomes.
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      auto& out = outcomes[t];
+      const auto& target = targets[t];
+      out.x_bits.push_back(x_t[t]);
+      for (std::size_t i = 0; i < target.team.size(); ++i)
+        out.x_by_measurer[i].push_back(x_it[t][i]);
+
+      double y_real = y_t[t];
+      double y_reported = y_real;
+      if (target.behavior == TargetBehavior::kLieAboutBackground) {
+        // The liar forwards no background at all (keeping its capacity for
+        // the measurement) but reports the maximum plausible amount.
+        y_reported = relay_capacity[t];
+      }
+      out.y_reported_bits.push_back(y_reported);
+      const double y_clamped =
+          clamp_background(y_reported, x_t[t], params_.ratio);
+      out.y_clamped_bits.push_back(y_clamped);
+      out.z_bits.push_back(x_t[t] + y_clamped);
+    }
+  }
+
+  // Verification + final estimates.
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    auto& out = outcomes[t];
+    if (targets[t].behavior == TargetBehavior::kForgeEchoes) {
+      const double total_bytes = net::bytes_from_bits(
+          std::accumulate(out.x_bits.begin(), out.x_bits.end(), 0.0));
+      out.verification_failed = sample_detection(
+          params_.check_probability, total_bytes, tor::kCellSize, rng_);
+    }
+    if (!out.verification_failed && !out.z_bits.empty())
+      out.estimate_bits = metrics::median(metrics::as_span(out.z_bits));
+  }
+  return outcomes;
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,91 @@
+// Measurement slots (§4.1): fluid per-second simulation plus the BWAuth
+// aggregation pipeline.
+//
+// For each second j of a slot, each measuring process pushes measurement
+// cells as fast as its rate limit (a_i / k_i) and socket shares allow; the
+// target relay forwards measurement and background traffic subject to its
+// capacity components and the ratio-r rule. The BWAuth then aggregates:
+//
+//   x_j = sum_i x_ij                       (measurement bytes, per second)
+//   y_j = min(y_reported_j, x_j r/(1-r))   (clamped background)
+//   z   = median(x_1+y_1, ..., x_t+y_t)    (capacity estimate)
+//
+// The relay may lie about y (attack.h) and may forward forged echoes; the
+// sampled spot check catches forgeries with probability 1-(1-p)^k.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "tor/relay.h"
+
+namespace flashflow::core {
+
+/// One measurer's role in a slot.
+struct MeasurerSlot {
+  net::HostId host = 0;
+  double allocated_bits = 0;  // a_i (BandwidthRate sum over its processes)
+  int sockets = 0;            // its share of the team's s sockets
+};
+
+/// How the target behaves (security experiments).
+enum class TargetBehavior {
+  kHonest,
+  kLieAboutBackground,  // reports maximal y regardless of real forwarding
+  kForgeEchoes,         // skips decryption / fabricates responses
+};
+
+struct SlotOutcome {
+  std::vector<double> x_bits;          // per-second aggregated measurement
+  std::vector<double> y_reported_bits; // per-second relay-reported normal
+  std::vector<double> y_clamped_bits;  // after the r clamp
+  std::vector<double> z_bits;          // x + y_clamped
+  std::vector<std::vector<double>> x_by_measurer;  // x_ij
+  double estimate_bits = 0;            // median(z), 0 when aborted
+  bool verification_failed = false;
+};
+
+/// Per-second aggregation used by the BWAuth (exposed for unit tests):
+/// clamps reported background to x*r/(1-r) and sums.
+double clamp_background(double reported_y_bits, double x_bits, double ratio_r);
+
+/// Runs one measurement slot against a single target.
+///
+/// The per-measurer offered rate each second is
+///   min(a_i, sockets_i * per-socket TCP cap on the loaded path,
+///       measurer NIC shares),
+/// and the relay model turns offered load into forwarded bytes. `rng` seeds
+/// the relay noise process and verification sampling.
+class SlotRunner {
+ public:
+  SlotRunner(const net::Topology& topo, Params params, sim::Rng rng);
+
+  SlotOutcome run(const tor::RelayModel& relay, net::HostId relay_host,
+                  std::span<const MeasurerSlot> team,
+                  TargetBehavior behavior = TargetBehavior::kHonest);
+
+  /// Targets measured concurrently share measurer NICs and (when co-hosted)
+  /// the target host's NIC (Appendix F). Outcomes align with `targets`.
+  struct ConcurrentTarget {
+    tor::RelayModel relay;
+    net::HostId host = 0;
+    std::vector<MeasurerSlot> team;
+    TargetBehavior behavior = TargetBehavior::kHonest;
+  };
+  std::vector<SlotOutcome> run_concurrent(
+      std::span<const ConcurrentTarget> targets);
+
+  /// Offered measurement rate from one measurer toward a target host,
+  /// before NIC contention (exposed for the Appendix E.1 socket sweep).
+  double offered_rate(const MeasurerSlot& m, net::HostId relay_host) const;
+
+ private:
+  const net::Topology& topo_;
+  Params params_;
+  sim::Rng rng_;
+};
+
+}  // namespace flashflow::core

@@ -1,0 +1,39 @@
+// FlashFlow protocol parameters with the paper's recommended defaults
+// (§6.1, Appendix E).
+#pragma once
+
+#include "sim/time.h"
+
+namespace flashflow::core {
+
+struct Params {
+  /// Total measurement sockets across all measurers (Appendix E.1: the
+  /// value that maximizes throughput on the slowest host).
+  int sockets = 160;
+  /// Base capacity multiplier m (Appendix E.2: smallest value that avoids
+  /// outliers below 80% of ground truth).
+  double multiplier = 2.25;
+  /// Measurement slot duration t in seconds (Appendix E.3: the 30-second
+  /// median had the tightest accuracy range).
+  int slot_seconds = 30;
+  /// Error bounds (Appendix E.5): estimates land in ((1-e1)x, (1+e2)x).
+  double epsilon1 = 0.20;
+  double epsilon2 = 0.05;
+  /// Max fraction r of total traffic that may be normal client traffic
+  /// during a measurement (§6.2: bounds a liar's advantage to 1/(1-r)).
+  double ratio = 0.25;
+  /// Cell spot-check probability (§4.1).
+  double check_probability = 1e-5;
+  /// Measurement period: every relay is measured once per period (§4.3).
+  sim::SimDuration period = sim::kDay;
+
+  /// Excess allocation factor f = m (1 + eps2) / (1 - eps1) (§4.2).
+  double excess_factor() const {
+    return multiplier * (1.0 + epsilon2) / (1.0 - epsilon1);
+  }
+
+  /// Upper bound on a lying relay's capacity inflation: 1/(1-r) (§5).
+  double max_inflation() const { return 1.0 / (1.0 - ratio); }
+};
+
+}  // namespace flashflow::core

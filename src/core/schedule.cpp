@@ -1,0 +1,106 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace flashflow::core {
+
+PackingResult greedy_pack(std::span<const double> capacity_estimates,
+                          double team_capacity_bits, const Params& params) {
+  const double f = params.excess_factor();
+  const std::size_t n = capacity_estimates.size();
+
+  // Relays sorted by requirement, largest first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return capacity_estimates[a] > capacity_estimates[b];
+  });
+
+  PackingResult result;
+  result.relay_slot.assign(n, -1);
+  std::vector<bool> placed(n, false);
+  std::size_t remaining = n;
+  int slot = 0;
+  while (remaining > 0) {
+    double room = team_capacity_bits;
+    // Largest-fit: scan in descending order for relays that still fit.
+    for (const std::size_t r : order) {
+      if (placed[r]) continue;
+      const double need = f * capacity_estimates[r];
+      if (need > team_capacity_bits + 1e-6)
+        throw std::runtime_error(
+            "greedy_pack: relay exceeds team capacity");
+      if (need <= room + 1e-6) {
+        result.relay_slot[r] = slot;
+        result.total_requirement_bits += need;
+        room -= need;
+        placed[r] = true;
+        --remaining;
+      }
+    }
+    ++slot;
+  }
+  result.slots_used = slot;
+  return result;
+}
+
+PeriodSchedule::PeriodSchedule(const Params& params,
+                               double team_capacity_bits, std::uint64_t seed)
+    : params_(params),
+      team_capacity_bits_(team_capacity_bits),
+      rng_(seed),
+      load_bits_(static_cast<std::size_t>(
+                     params.period / (params.slot_seconds * sim::kSecond)),
+                 0.0) {
+  if (team_capacity_bits_ <= 0.0)
+    throw std::invalid_argument("PeriodSchedule: no team capacity");
+}
+
+int PeriodSchedule::slots_in_period() const {
+  return static_cast<int>(load_bits_.size());
+}
+
+double PeriodSchedule::requirement(double capacity_estimate_bits) const {
+  return params_.excess_factor() * capacity_estimate_bits;
+}
+
+std::vector<int> PeriodSchedule::schedule_old_relays(
+    std::span<const double> capacity_estimates) {
+  std::vector<int> slots;
+  slots.reserve(capacity_estimates.size());
+  std::vector<int> feasible;
+  for (const double estimate : capacity_estimates) {
+    const double need = requirement(estimate);
+    feasible.clear();
+    for (std::size_t s = 0; s < load_bits_.size(); ++s)
+      if (load_bits_[s] + need <= team_capacity_bits_ + 1e-6)
+        feasible.push_back(static_cast<int>(s));
+    if (feasible.empty())
+      throw std::runtime_error(
+          "PeriodSchedule: no slot can fit relay; period too short");
+    const int pick = feasible[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(feasible.size()) - 1))];
+    load_bits_[static_cast<std::size_t>(pick)] += need;
+    slots.push_back(pick);
+  }
+  return slots;
+}
+
+int PeriodSchedule::schedule_new_relay(double capacity_estimate_bits) {
+  const double need = requirement(capacity_estimate_bits);
+  for (std::size_t s = 0; s < load_bits_.size(); ++s) {
+    if (load_bits_[s] + need <= team_capacity_bits_ + 1e-6) {
+      load_bits_[s] += need;
+      return static_cast<int>(s);
+    }
+  }
+  throw std::runtime_error("PeriodSchedule: period full");
+}
+
+double PeriodSchedule::slot_load_bits(int slot) const {
+  return load_bits_.at(static_cast<std::size_t>(slot));
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,65 @@
+// Measurement scheduling (§4.3, §7).
+//
+// A measurement period (24 h) divides into 30-second slots. Each BWAuth
+// derives a secret randomized schedule from a shared seed: old relays are
+// placed in uniformly random slots with sufficient unallocated capacity
+// (each relay consumes f * z0 of the team's capacity); new relays are
+// appended first-come first-served into the earliest slot with room.
+//
+// greedy_pack() implements the §7 efficiency estimate: fill slots in order,
+// always taking the largest still-unmeasured relay that fits, yielding the
+// minimum measurement time for the whole network.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/random.h"
+
+namespace flashflow::core {
+
+struct PackingResult {
+  int slots_used = 0;
+  /// relay index -> slot index (aligned with the input capacities).
+  std::vector<int> relay_slot;
+  /// Sum of capacity-estimate requirements (f * cap), bits.
+  double total_requirement_bits = 0;
+};
+
+/// §7 greedy largest-fit packing. Throws if any single relay needs more
+/// than the team capacity.
+PackingResult greedy_pack(std::span<const double> capacity_estimates,
+                          double team_capacity_bits, const Params& params);
+
+/// Randomized secret schedule for one BWAuth over one period.
+class PeriodSchedule {
+ public:
+  /// `seed` is the period's shared random seed (per §4.3, derived from
+  /// Tor's secure-randomness protocol) combined with the BWAuth identity.
+  PeriodSchedule(const Params& params, double team_capacity_bits,
+                 std::uint64_t seed);
+
+  int slots_in_period() const;
+
+  /// Assigns every old relay a uniformly random feasible slot; returns the
+  /// slot per relay. Throws if a relay cannot fit in any slot.
+  std::vector<int> schedule_old_relays(
+      std::span<const double> capacity_estimates);
+
+  /// FCFS new-relay insertion: earliest slot with room. Returns the slot.
+  int schedule_new_relay(double capacity_estimate_bits);
+
+  double slot_load_bits(int slot) const;
+
+ private:
+  double requirement(double capacity_estimate_bits) const;
+
+  Params params_;
+  double team_capacity_bits_;
+  sim::Rng rng_;
+  std::vector<double> load_bits_;
+};
+
+}  // namespace flashflow::core

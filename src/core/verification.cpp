@@ -1,0 +1,39 @@
+#include "core/verification.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flashflow::core {
+
+double evasion_probability(double check_probability,
+                           std::uint64_t forged_cells) {
+  if (check_probability < 0.0 || check_probability > 1.0)
+    throw std::invalid_argument("evasion_probability: bad p");
+  // (1-p)^k computed in log space for numerical stability.
+  if (check_probability >= 1.0) return forged_cells == 0 ? 1.0 : 0.0;
+  return std::exp(static_cast<double>(forged_cells) *
+                  std::log1p(-check_probability));
+}
+
+std::uint64_t cells_for_detection(double check_probability,
+                                  double detect_probability) {
+  if (check_probability <= 0.0 || check_probability >= 1.0)
+    throw std::invalid_argument("cells_for_detection: bad p");
+  if (detect_probability <= 0.0) return 0;
+  if (detect_probability >= 1.0)
+    throw std::invalid_argument("cells_for_detection: need < 1");
+  const double k =
+      std::log1p(-detect_probability) / std::log1p(-check_probability);
+  return static_cast<std::uint64_t>(std::ceil(k));
+}
+
+bool sample_detection(double check_probability, double total_bytes,
+                      double cell_size, sim::Rng& rng) {
+  if (cell_size <= 0.0)
+    throw std::invalid_argument("sample_detection: bad cell size");
+  const auto cells = static_cast<std::uint64_t>(total_bytes / cell_size);
+  const double p_evade = evasion_probability(check_probability, cells);
+  return !rng.chance(p_evade);
+}
+
+}  // namespace flashflow::core

@@ -1,0 +1,58 @@
+#include "core/wire.h"
+
+#include <array>
+#include <cstring>
+#include <span>
+
+#include "tor/crypto.h"
+
+namespace flashflow::core {
+
+namespace {
+/// Serializes the authenticated fields into a flat byte buffer.
+std::vector<std::uint8_t> message_bytes(const ControlMessage& msg) {
+  std::vector<std::uint8_t> out;
+  const auto push64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  out.push_back(static_cast<std::uint8_t>(msg.type));
+  push64(msg.sender);
+  push64(static_cast<std::uint64_t>(msg.period_index));
+  for (const char c : msg.target_fingerprint)
+    out.push_back(static_cast<std::uint8_t>(c));
+  for (const KeyId k : msg.measurer_keys) push64(k);
+  std::uint64_t value_bits = 0;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&value_bits, &msg.value, sizeof value_bits);
+  push64(value_bits);
+  push64(static_cast<std::uint64_t>(msg.second));
+  return out;
+}
+}  // namespace
+
+void sign_message(ControlMessage& msg, std::uint64_t secret_key) {
+  const auto bytes = message_bytes(msg);
+  msg.mac = tor::keyed_digest(secret_key, {bytes.data(), bytes.size()});
+}
+
+bool verify_message(const ControlMessage& msg, std::uint64_t secret_key) {
+  const auto bytes = message_bytes(msg);
+  return msg.mac == tor::keyed_digest(secret_key, {bytes.data(), bytes.size()});
+}
+
+bool MeasurementGate::admit(KeyId bwauth, std::int64_t period_index) {
+  return admitted_.insert({bwauth, period_index}).second;
+}
+
+bool MeasurementGate::measurer_authorized(KeyId measurer) const {
+  return authorized_measurers_.count(measurer) > 0;
+}
+
+void MeasurementGate::authorize_measurers(const std::vector<KeyId>& keys) {
+  authorized_measurers_.insert(keys.begin(), keys.end());
+}
+
+void MeasurementGate::clear_authorizations() { authorized_measurers_.clear(); }
+
+}  // namespace flashflow::core

@@ -1,0 +1,71 @@
+// Authenticated control protocol between BWAuth, measurers, and targets.
+//
+// §4.1: the BWAuth creates authenticated connections to each measurer and to
+// the target using its public key (distributed in the consensus). It tells
+// the target which measurer keys to accept. A relay accepts measurement
+// connections from a given BWAuth (and team) at most once per measurement
+// period.
+//
+// Authentication here uses the simulation-grade keyed digest from
+// tor/crypto.h: a message is accepted iff its MAC verifies under the
+// claimed principal's key.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flashflow::core {
+
+using KeyId = std::uint64_t;  // stands in for an Ed25519 public key
+
+enum class MessageType : std::uint8_t {
+  kMeasureRequest = 1,   // BWAuth -> target: announce measurement + team keys
+  kMeasurerDirective,    // BWAuth -> measurer: allocation + socket share
+  kPerSecondReport,      // measurer/target -> BWAuth: bytes in second j
+  kAbort,                // BWAuth -> all: verification failure, stop early
+};
+
+struct ControlMessage {
+  MessageType type = MessageType::kMeasureRequest;
+  KeyId sender = 0;
+  std::int64_t period_index = 0;       // which measurement period
+  std::string target_fingerprint;
+  std::vector<KeyId> measurer_keys;    // for kMeasureRequest
+  double value = 0.0;                  // allocation / byte count
+  std::int64_t second = 0;             // for kPerSecondReport
+  std::uint64_t mac = 0;
+};
+
+/// Signs a message in place with the sender's secret key.
+void sign_message(ControlMessage& msg, std::uint64_t secret_key);
+
+/// Verifies the MAC against the sender's secret key (symmetric simulation
+/// stand-in for signature verification with the public key).
+bool verify_message(const ControlMessage& msg, std::uint64_t secret_key);
+
+/// Relay-side admission control: accepts a measurement request from a given
+/// BWAuth at most once per measurement period.
+class MeasurementGate {
+ public:
+  /// Returns true and records the admission if this (BWAuth, period) pair
+  /// has not been admitted before; false otherwise.
+  bool admit(KeyId bwauth, std::int64_t period_index);
+
+  /// True if a measurer key was authorized by an admitted request.
+  bool measurer_authorized(KeyId measurer) const;
+  /// Authorizes the measurer keys from an admitted request.
+  void authorize_measurers(const std::vector<KeyId>& keys);
+  /// Clears measurer authorizations (end of measurement).
+  void clear_authorizations();
+
+ private:
+  std::set<std::pair<KeyId, std::int64_t>> admitted_;
+  std::set<KeyId> authorized_measurers_;
+};
+
+}  // namespace flashflow::core

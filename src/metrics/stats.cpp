@@ -1,0 +1,75 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace flashflow::metrics {
+
+namespace {
+void require_nonempty(std::span<const double> xs, const char* what) {
+  if (xs.empty()) throw std::invalid_argument(std::string(what) + ": empty");
+}
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  require_nonempty(xs, "stdev");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double relative_stdev(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) throw std::invalid_argument("relative_stdev: zero mean");
+  return stdev(xs) / m;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double q) {
+  require_nonempty(xs, "percentile");
+  if (q < 0.0 || q > 100.0)
+    throw std::invalid_argument("percentile: q out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double min_value(std::span<const double> xs) {
+  require_nonempty(xs, "min_value");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require_nonempty(xs, "max_value");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+BoxStats box_stats(std::span<const double> xs) {
+  require_nonempty(xs, "box_stats");
+  BoxStats b;
+  b.p5 = percentile(xs, 5.0);
+  b.q1 = percentile(xs, 25.0);
+  b.median = percentile(xs, 50.0);
+  b.q3 = percentile(xs, 75.0);
+  b.p95 = percentile(xs, 95.0);
+  b.mean = mean(xs);
+  return b;
+}
+
+}  // namespace flashflow::metrics

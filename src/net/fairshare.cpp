@@ -1,0 +1,118 @@
+#include "net/fairshare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flashflow::net {
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareResource>& resources,
+    const std::vector<FairShareFlow>& flows) {
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_resources = resources.size();
+
+  std::vector<double> rates(num_flows, 0.0);
+  std::vector<bool> frozen(num_flows, false);
+  std::vector<double> remaining(num_resources);
+  for (std::size_t r = 0; r < num_resources; ++r) {
+    remaining[r] = resources[r].capacity > 0
+                       ? resources[r].capacity
+                       : std::numeric_limits<double>::infinity();
+  }
+  // Weight of active flows at each resource.
+  std::vector<double> active_weight(num_resources, 0.0);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].weight <= 0.0)
+      throw std::invalid_argument("max_min_fair_rates: non-positive weight");
+    for (const std::size_t r : flows[f].resources) {
+      if (r >= num_resources)
+        throw std::out_of_range("max_min_fair_rates: bad resource index");
+      active_weight[r] += flows[f].weight;
+    }
+  }
+
+  std::size_t active_flows = num_flows;
+  // Flows with an immediate zero cap freeze straight away.
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].cap <= 0.0) {
+      frozen[f] = true;
+      --active_flows;
+      for (const std::size_t r : flows[f].resources)
+        active_weight[r] -= flows[f].weight;
+    }
+  }
+
+  constexpr double kEps = 1e-9;
+  while (active_flows > 0) {
+    // Largest uniform per-weight increment before a resource saturates or a
+    // flow reaches its cap.
+    double step = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      if (active_weight[r] > kEps && std::isfinite(remaining[r]))
+        step = std::min(step, remaining[r] / active_weight[r]);
+    }
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (!frozen[f] && std::isfinite(flows[f].cap))
+        step = std::min(step, (flows[f].cap - rates[f]) / flows[f].weight);
+    }
+    if (!std::isfinite(step)) {
+      // No binding constraint: remaining flows are unconstrained. Assign an
+      // effectively unbounded rate; callers treat it as "not the bottleneck".
+      for (std::size_t f = 0; f < num_flows; ++f)
+        if (!frozen[f]) rates[f] = std::numeric_limits<double>::infinity();
+      break;
+    }
+    step = std::max(step, 0.0);
+
+    // Advance all active flows by step * weight.
+    for (std::size_t f = 0; f < num_flows; ++f)
+      if (!frozen[f]) rates[f] += step * flows[f].weight;
+    for (std::size_t r = 0; r < num_resources; ++r)
+      if (std::isfinite(remaining[r])) remaining[r] -= step * active_weight[r];
+
+    // Freeze flows at saturated resources or at their caps.
+    std::vector<bool> saturated(num_resources, false);
+    for (std::size_t r = 0; r < num_resources; ++r)
+      if (std::isfinite(remaining[r]) && remaining[r] <= kEps &&
+          active_weight[r] > kEps)
+        saturated[r] = true;
+
+    bool any_frozen = false;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = rates[f] >= flows[f].cap - kEps;
+      if (!freeze)
+        for (const std::size_t r : flows[f].resources)
+          if (saturated[r]) {
+            freeze = true;
+            break;
+          }
+      if (freeze) {
+        frozen[f] = true;
+        --active_flows;
+        any_frozen = true;
+        for (const std::size_t r : flows[f].resources)
+          active_weight[r] -= flows[f].weight;
+      }
+    }
+    if (!any_frozen) {
+      // Numerical safety: freeze the flow closest to a constraint so the
+      // loop always terminates.
+      std::size_t best = num_flows;
+      for (std::size_t f = 0; f < num_flows; ++f)
+        if (!frozen[f]) {
+          best = f;
+          break;
+        }
+      if (best == num_flows) break;
+      frozen[best] = true;
+      --active_flows;
+      for (const std::size_t r : flows[best].resources)
+        active_weight[r] -= flows[best].weight;
+    }
+  }
+  return rates;
+}
+
+}  // namespace flashflow::net

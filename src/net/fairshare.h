@@ -1,0 +1,38 @@
+// Weighted max-min fair rate allocation (progressive filling).
+//
+// Given resources with capacities and flows that each traverse a set of
+// resources, carry a weight, and may have an individual rate cap, computes
+// the weighted max-min fair allocation: all flows' rates rise together in
+// proportion to their weights until a resource saturates or a flow hits its
+// cap; saturated flows freeze, and the rest continue.
+//
+// This is the standard fluid approximation of TCP bandwidth sharing used by
+// flow-level network simulators.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace flashflow::net {
+
+struct FairShareResource {
+  double capacity = 0;  // bits/s; <= 0 means unconstrained
+};
+
+struct FairShareFlow {
+  std::vector<std::size_t> resources;  // indices into the resource vector
+  double weight = 1.0;                 // relative share (e.g. socket count)
+  double cap = std::numeric_limits<double>::infinity();  // bits/s
+};
+
+/// Returns per-flow rates in bits/s. Guarantees:
+///   - no resource's total allocated rate exceeds its capacity (within eps);
+///   - no flow exceeds its cap;
+///   - the allocation is weighted max-min fair (no flow's rate can increase
+///     without decreasing that of a flow with an equal-or-smaller
+///     rate-to-weight ratio).
+std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareResource>& resources,
+    const std::vector<FairShareFlow>& flows);
+
+}  // namespace flashflow::net

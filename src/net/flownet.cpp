@@ -1,0 +1,253 @@
+#include "net/flownet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "net/units.h"
+
+namespace flashflow::net {
+
+namespace {
+// Stand-in for "unconstrained" so arithmetic stays finite.
+constexpr double kHugeRate = 1e15;  // bits/s
+// A flow is complete once less than one byte remains: sub-byte residues
+// are rounding artifacts of the microsecond clock, and chasing them would
+// spin the completion scheduler at a single timestamp.
+constexpr double kByteEps = 1.0;
+}  // namespace
+
+FlowNet::FlowNet(sim::Simulator& simulator) : sim_(simulator) {}
+
+ResourceId FlowNet::add_resource(std::string name, double capacity_bits) {
+  resources_.push_back({capacity_bits});
+  resource_names_.push_back(std::move(name));
+  return resources_.size() - 1;
+}
+
+void FlowNet::set_capacity(ResourceId id, double capacity_bits) {
+  if (id >= resources_.size()) throw std::out_of_range("FlowNet resource");
+  sync();
+  resources_[id].capacity = capacity_bits;
+  recompute_rates();
+}
+
+double FlowNet::capacity(ResourceId id) const {
+  if (id >= resources_.size()) throw std::out_of_range("FlowNet resource");
+  return resources_[id].capacity;
+}
+
+const std::string& FlowNet::resource_name(ResourceId id) const {
+  if (id >= resource_names_.size())
+    throw std::out_of_range("FlowNet resource");
+  return resource_names_[id];
+}
+
+double FlowNet::resource_usage(ResourceId id) {
+  if (id >= resources_.size()) throw std::out_of_range("FlowNet resource");
+  sync();
+  double used = 0.0;
+  for (const auto& [fid, flow] : flows_) {
+    (void)fid;
+    if (std::find(flow.spec.resources.begin(), flow.spec.resources.end(),
+                  id) != flow.spec.resources.end())
+      used += flow.rate_bits;
+  }
+  return used;
+}
+
+FlowId FlowNet::add_flow(FlowSpec spec) {
+  for (const ResourceId r : spec.resources)
+    if (r >= resources_.size())
+      throw std::out_of_range("FlowNet::add_flow: bad resource id");
+  if (spec.weight <= 0.0)
+    throw std::invalid_argument("FlowNet::add_flow: non-positive weight");
+  sync();
+  const FlowId id = next_flow_id_++;
+  FlowState state;
+  state.remaining_bytes = spec.volume_bytes >= 0.0
+                              ? spec.volume_bytes
+                              : std::numeric_limits<double>::infinity();
+  state.spec = std::move(spec);
+  flows_.emplace(id, std::move(state));
+  recompute_rates();
+  return id;
+}
+
+void FlowNet::remove_flow(FlowId id) {
+  sync();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // already completed/removed
+  retired_.emplace(id, std::move(it->second));
+  flows_.erase(it);
+  recompute_rates();
+}
+
+bool FlowNet::is_live(FlowId id) const { return flows_.count(id) > 0; }
+
+double FlowNet::rate(FlowId id) {
+  sync();
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bits;
+}
+
+double FlowNet::bytes_transferred(FlowId id) {
+  sync();
+  if (const auto it = flows_.find(id); it != flows_.end())
+    return it->second.transferred_bytes;
+  if (const auto it = retired_.find(id); it != retired_.end())
+    return it->second.transferred_bytes;
+  throw std::invalid_argument("FlowNet::bytes_transferred: unknown flow");
+}
+
+double FlowNet::remaining_bytes(FlowId id) {
+  sync();
+  if (const auto it = flows_.find(id); it != flows_.end())
+    return it->second.remaining_bytes;
+  if (const auto it = retired_.find(id); it != retired_.end())
+    return it->second.remaining_bytes;
+  throw std::invalid_argument("FlowNet::remaining_bytes: unknown flow");
+}
+
+const metrics::PerSecondSeries& FlowNet::series(FlowId id) {
+  sync();
+  if (const auto it = flows_.find(id); it != flows_.end())
+    return it->second.series;
+  if (const auto it = retired_.find(id); it != retired_.end())
+    return it->second.series;
+  throw std::invalid_argument("FlowNet::series: unknown flow");
+}
+
+void FlowNet::sync() { advance_to(sim_.now()); }
+
+void FlowNet::accrue_series(metrics::PerSecondSeries& series,
+                            sim::SimTime from, sim::SimTime to,
+                            double rate_bits) {
+  // Split the constant-rate interval at one-second boundaries so each bin
+  // receives exactly the bytes transferred during that second.
+  sim::SimTime cursor = from;
+  while (cursor < to) {
+    const sim::SimTime next_boundary =
+        (cursor / sim::kSecond + 1) * sim::kSecond;
+    const sim::SimTime chunk_end = std::min(next_boundary, to);
+    const double seconds = sim::to_seconds(chunk_end - cursor);
+    series.add(cursor, bytes_from_bits(rate_bits) * seconds);
+    cursor = chunk_end;
+  }
+}
+
+void FlowNet::advance_to(sim::SimTime t) {
+  if (advancing_ || t <= last_time_) return;
+  advancing_ = true;
+  std::vector<std::pair<FlowId, std::function<void(FlowId)>>> callbacks;
+
+  while (last_time_ < t) {
+    // Earliest completion among finite flows at current rates.
+    sim::SimTime next_completion = t;
+    for (const auto& [id, flow] : flows_) {
+      (void)id;
+      if (!std::isfinite(flow.remaining_bytes) || flow.rate_bits <= 0.0)
+        continue;
+      const double secs =
+          bits_from_bytes(flow.remaining_bytes) / flow.rate_bits;
+      // Strictly in the future so each loop iteration makes progress even
+      // when the remaining time rounds to zero microseconds.
+      const sim::SimTime when =
+          last_time_ +
+          std::max<sim::SimDuration>(sim::from_seconds(secs), 1);
+      next_completion = std::min(next_completion, when);
+    }
+
+    const sim::SimTime step_end = std::min(t, next_completion);
+    const double dt = sim::to_seconds(step_end - last_time_);
+    if (dt > 0.0) {
+      for (auto& [id, flow] : flows_) {
+        (void)id;
+        const double bytes = bytes_from_bits(flow.rate_bits) * dt;
+        const double delivered = std::min(bytes, flow.remaining_bytes);
+        flow.transferred_bytes += delivered;
+        if (std::isfinite(flow.remaining_bytes))
+          flow.remaining_bytes =
+              std::max(0.0, flow.remaining_bytes - delivered);
+        if (flow.spec.record_per_second && delivered > 0.0) {
+          // Record at the actual delivered rate over the interval.
+          const double eff_rate = bits_from_bytes(delivered) / dt;
+          accrue_series(flow.series, last_time_, step_end, eff_rate);
+        }
+      }
+    }
+    last_time_ = step_end;
+
+    // Retire flows whose volume drained.
+    bool any_completed = false;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (std::isfinite(it->second.remaining_bytes) &&
+          it->second.remaining_bytes <= kByteEps) {
+        if (it->second.spec.on_complete)
+          callbacks.emplace_back(it->first, it->second.spec.on_complete);
+        retired_.emplace(it->first, std::move(it->second));
+        it = flows_.erase(it);
+        any_completed = true;
+      } else {
+        ++it;
+      }
+    }
+    // Completed flows free capacity for the rest of the interval.
+    if (any_completed) recompute_rates();
+  }
+
+  advancing_ = false;
+  if (!callbacks.empty()) {
+    for (auto& [id, cb] : callbacks) cb(id);
+  }
+}
+
+void FlowNet::recompute_rates() {
+  std::vector<FairShareFlow> specs;
+  specs.reserve(flows_.size());
+  std::vector<FlowId> order;
+  order.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    FairShareFlow f;
+    f.resources = flow.spec.resources;
+    f.weight = flow.spec.weight;
+    f.cap = flow.spec.cap_bits;
+    specs.push_back(std::move(f));
+    order.push_back(id);
+  }
+  const std::vector<double> rates = max_min_fair_rates(resources_, specs);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    double r = rates[i];
+    if (!std::isfinite(r)) r = kHugeRate;
+    flows_[order[i]].rate_bits = r;
+  }
+  schedule_completion_tick();
+}
+
+void FlowNet::schedule_completion_tick() {
+  if (completion_event_) {
+    sim_.cancel(*completion_event_);
+    completion_event_.reset();
+  }
+  sim::SimTime earliest = std::numeric_limits<sim::SimTime>::max();
+  for (const auto& [id, flow] : flows_) {
+    (void)id;
+    if (!std::isfinite(flow.remaining_bytes) || flow.rate_bits <= 0.0)
+      continue;
+    const double secs = bits_from_bytes(flow.remaining_bytes) / flow.rate_bits;
+    const sim::SimTime when =
+        last_time_ + std::max<sim::SimDuration>(sim::from_seconds(secs), 1);
+    earliest = std::min(earliest, when);
+  }
+  if (earliest != std::numeric_limits<sim::SimTime>::max()) {
+    completion_event_ =
+        sim_.schedule_at(std::max(earliest, sim_.now()), [this] {
+          completion_event_.reset();
+          sync();
+          schedule_completion_tick();
+        });
+  }
+}
+
+}  // namespace flashflow::net

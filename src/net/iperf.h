@@ -1,0 +1,54 @@
+// iPerf-like network measurement app on the fluid substrate.
+//
+// Reproduces the paper's host-capacity estimation methodology (§6.1 and
+// Appendix B): pairwise bidirectional TCP/UDP runs summarized as the median
+// of per-second min(sent, received), and the many-to-one saturating UDP run
+// whose median per-second sum is the "BW (measured)" row of Table 1.
+//
+// FlashFlow's team uses the same UDP mesh to estimate measurer capacity
+// (§4.2 "Measuring Measurers").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/random.h"
+
+namespace flashflow::net {
+
+struct IperfReport {
+  /// Summarized per-second throughput samples, bits/s.
+  std::vector<double> per_second_bits;
+  /// Median of the per-second samples; 0 when empty.
+  double median_bits() const;
+};
+
+/// Runs iPerf-style measurements over a Topology. Each run builds a fresh
+/// fluid network; the RNG seed makes the injected receive-direction
+/// variability reproducible.
+class IperfRunner {
+ public:
+  IperfRunner(const Topology& topo, std::uint64_t seed);
+
+  /// One-direction TCP run with `streams` parallel sockets.
+  IperfReport run_tcp(HostId sender, HostId receiver, double duration_s,
+                      int streams = 1);
+  /// One-direction UDP run (NIC-limited; no congestion-window cap).
+  IperfReport run_udp(HostId sender, HostId receiver, double duration_s);
+
+  /// Bidirectional run; per-second samples are min(sent, received) as in
+  /// Appendix B. `udp` selects the transport.
+  IperfReport run_bidirectional(HostId a, HostId b, double duration_s,
+                                bool udp);
+
+  /// All other hosts send UDP to `receiver` concurrently; samples are the
+  /// per-second sums (Table 1 "BW (measured)" methodology).
+  IperfReport run_saturate_udp(HostId receiver, double duration_s);
+
+ private:
+  const Topology& topo_;
+  sim::Rng rng_;
+};
+
+}  // namespace flashflow::net

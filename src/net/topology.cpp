@@ -1,0 +1,146 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+#include "net/units.h"
+
+namespace flashflow::net {
+
+HostId Topology::add_host(Host host) {
+  const HostId id = hosts_.size();
+  hosts_.push_back(std::move(host));
+  const std::size_t n = hosts_.size();
+  // Grow the matrices, preserving existing entries.
+  const auto grow = [n](std::vector<double>& m) {
+    std::vector<double> next(n * n, 0.0);
+    for (std::size_t a = 0; a + 1 < n; ++a)
+      for (std::size_t b = 0; b + 1 < n; ++b)
+        next[a * n + b] = m[a * (n - 1) + b];
+    m = std::move(next);
+  };
+  grow(rtt_);
+  grow(loss_);
+  grow(loaded_loss_);
+  return id;
+}
+
+void Topology::set_path(HostId a, HostId b, double rtt_s, double loss_rate,
+                        double loaded_loss_rate) {
+  if (rtt_s < 0.0 || loss_rate < 0.0 || loss_rate >= 1.0)
+    throw std::invalid_argument("Topology::set_path: bad parameters");
+  if (loaded_loss_rate < 0.0) loaded_loss_rate = loss_rate;
+  rtt_[index(a, b)] = rtt_s;
+  rtt_[index(b, a)] = rtt_s;
+  loss_[index(a, b)] = loss_rate;
+  loss_[index(b, a)] = loss_rate;
+  loaded_loss_[index(a, b)] = loaded_loss_rate;
+  loaded_loss_[index(b, a)] = loaded_loss_rate;
+}
+
+const Host& Topology::host(HostId id) const {
+  if (id >= hosts_.size()) throw std::out_of_range("Topology::host");
+  return hosts_[id];
+}
+
+Host& Topology::host(HostId id) {
+  if (id >= hosts_.size()) throw std::out_of_range("Topology::host");
+  return hosts_[id];
+}
+
+HostId Topology::find(const std::string& name) const {
+  for (HostId id = 0; id < hosts_.size(); ++id)
+    if (hosts_[id].name == name) return id;
+  throw std::invalid_argument("Topology::find: no host named " + name);
+}
+
+double Topology::rtt(HostId a, HostId b) const { return rtt_[index(a, b)]; }
+
+double Topology::loss(HostId a, HostId b) const { return loss_[index(a, b)]; }
+
+double Topology::loaded_loss(HostId a, HostId b) const {
+  return loaded_loss_[index(a, b)];
+}
+
+std::size_t Topology::index(HostId a, HostId b) const {
+  if (a >= hosts_.size() || b >= hosts_.size())
+    throw std::out_of_range("Topology: bad host id");
+  return a * hosts_.size() + b;
+}
+
+const std::vector<std::string>& table1_host_names() {
+  static const std::vector<std::string> names = {"US-SW", "US-NW", "US-E",
+                                                 "IN", "NL"};
+  return names;
+}
+
+Topology make_table1_hosts() {
+  Topology topo;
+
+  // NIC capacities are set so that saturating UDP measurements reproduce
+  // Table 1's "BW (measured)" row: 954 / 946 / 941 / 1076 / 1611 Mbit/s.
+  Host us_sw_h{.name = "US-SW", .nic_up_bits = mbit(954),
+               .nic_down_bits = mbit(954), .cpu_cores = 8,
+               .virtual_host = false, .datacenter = true,
+               .kernel = KernelProfile::default_profile()};
+  Host us_nw_h{.name = "US-NW", .nic_up_bits = mbit(946),
+               .nic_down_bits = mbit(946), .cpu_cores = 8,
+               .virtual_host = true, .datacenter = true,
+               .kernel = KernelProfile::default_profile()};
+  // Appendix B: US-NW's receive direction was highly variable
+  // (TCP 176-787 Mbit/s, UDP 740-945 Mbit/s).
+  us_nw_h.rx_var_tcp = 0.78;
+  us_nw_h.rx_var_udp = 0.22;
+  Host us_e_h{.name = "US-E", .nic_up_bits = mbit(941),
+              .nic_down_bits = mbit(941), .cpu_cores = 12,
+              .virtual_host = false, .datacenter = false,
+              .kernel = KernelProfile::default_profile()};
+  Host in_h{.name = "IN", .nic_up_bits = mbit(1076),
+            .nic_down_bits = mbit(1076), .cpu_cores = 2,
+            .virtual_host = true, .datacenter = true,
+            .kernel = KernelProfile::default_profile()};
+  in_h.rx_var_tcp = 0.17;
+  Host nl_h{.name = "NL", .nic_up_bits = mbit(1611),
+            .nic_down_bits = mbit(1611), .cpu_cores = 2,
+            .virtual_host = true, .datacenter = true,
+            .kernel = KernelProfile::default_profile()};
+
+  const HostId us_sw = topo.add_host(us_sw_h);
+  const HostId us_nw = topo.add_host(us_nw_h);
+  const HostId us_e = topo.add_host(us_e_h);
+  const HostId in = topo.add_host(in_h);
+  const HostId nl = topo.add_host(nl_h);
+
+  // Table 1 RTTs to US-SW. Clean loss is near zero (iPerf runs reach close
+  // to line rate); loaded loss is calibrated so the Appendix E.1 socket
+  // sweep reproduces each host's peak location (IN peaks at s=160).
+  topo.set_path(us_sw, us_nw, 0.040, 1.0e-6, 6.0e-5);
+  topo.set_path(us_sw, us_e, 0.062, 1.0e-6, 6.0e-5);
+  topo.set_path(us_sw, in, 0.210, 2.0e-6, 1.6e-4);
+  topo.set_path(us_sw, nl, 0.137, 1.0e-6, 1.0e-4);
+
+  // Inter-pair paths (not in Table 1): synthesized from geography.
+  topo.set_path(us_nw, us_e, 0.070, 1.0e-6, 6.0e-5);
+  topo.set_path(us_nw, in, 0.230, 2.0e-6, 1.7e-4);
+  topo.set_path(us_nw, nl, 0.150, 1.0e-6, 1.1e-4);
+  topo.set_path(us_e, in, 0.200, 2.0e-6, 1.6e-4);
+  topo.set_path(us_e, nl, 0.090, 1.0e-6, 8.0e-5);
+  topo.set_path(in, nl, 0.130, 2.0e-6, 1.0e-4);
+
+  return topo;
+}
+
+Topology make_lab_pair() {
+  Topology topo;
+  const HostId target = topo.add_host(
+      {.name = "lab-target", .nic_up_bits = gbit(10),
+       .nic_down_bits = gbit(10), .cpu_cores = 56, .virtual_host = false,
+       .datacenter = true, .kernel = KernelProfile::default_profile()});
+  const HostId client = topo.add_host(
+      {.name = "lab-client", .nic_up_bits = gbit(10),
+       .nic_down_bits = gbit(10), .cpu_cores = 56, .virtual_host = false,
+       .datacenter = true, .kernel = KernelProfile::default_profile()});
+  topo.set_path(target, client, 0.00013, 0.0);
+  return topo;
+}
+
+}  // namespace flashflow::net

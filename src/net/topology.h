@@ -1,0 +1,82 @@
+// Host and path model for Internet experiments.
+//
+// A Topology is a set of named hosts with NIC capacities plus full-mesh
+// path characteristics (RTT and loss rate). The paper's Table 1 vantage
+// points are provided as a factory so every Internet experiment runs on the
+// same configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/tcp_model.h"
+
+namespace flashflow::net {
+
+using HostId = std::size_t;
+
+struct Host {
+  std::string name;
+  double nic_up_bits = 0;    // upstream NIC capacity, bits/s
+  double nic_down_bits = 0;  // downstream NIC capacity, bits/s
+  int cpu_cores = 1;
+  bool virtual_host = false;
+  bool datacenter = true;
+  KernelProfile kernel;  // socket buffer configuration
+  // Receive-direction throughput variability observed in Appendix B
+  // (US-NW's receive path was highly variable). A per-run factor is drawn
+  // uniformly from [1 - var, 1].
+  double rx_var_tcp = 0.05;
+  double rx_var_udp = 0.01;
+};
+
+class Topology {
+ public:
+  /// Adds a host; returns its id.
+  HostId add_host(Host host);
+
+  /// Sets symmetric path characteristics between two hosts.
+  ///
+  /// `loss_rate` is the clean-path loss seen by a lone well-paced stream
+  /// (iPerf-style runs); `loaded_loss_rate` is the self-induced congestion
+  /// loss each socket sees when many parallel measurement connections push
+  /// the path hard (governs the Appendix E.1 socket-sweep shape). Defaults
+  /// loaded == clean when omitted.
+  void set_path(HostId a, HostId b, double rtt_s, double loss_rate,
+                double loaded_loss_rate = -1.0);
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const Host& host(HostId id) const;
+  Host& host(HostId id);
+  /// Finds a host id by name; throws if absent.
+  HostId find(const std::string& name) const;
+
+  double rtt(HostId a, HostId b) const;
+  double loss(HostId a, HostId b) const;
+  double loaded_loss(HostId a, HostId b) const;
+
+ private:
+  std::size_t index(HostId a, HostId b) const;
+  std::vector<Host> hosts_;
+  std::vector<double> rtt_;          // row-major host_count x host_count
+  std::vector<double> loss_;         // same layout
+  std::vector<double> loaded_loss_;  // same layout
+};
+
+/// Builds the paper's Table 1 vantage points: US-SW (Fremont, CA),
+/// US-NW (Santa Rosa, CA), US-E (Washington, DC), IN (Bangalore),
+/// NL (Amsterdam). NIC capacities reflect the paper's measured values; the
+/// RTT column is Table 1's RTT-to-US-SW with synthesized inter-pair values;
+/// loss rates grow with RTT, calibrated so the Appendix E.1 socket sweep
+/// reproduces each host's peak location (IN peaks at s=160).
+Topology make_table1_hosts();
+
+/// Lab pair used in Appendix C/D: two hosts on a 10 Gbit/s link with
+/// 0.13 ms RTT and no loss.
+Topology make_lab_pair();
+
+/// Names of the five Table 1 hosts in paper order.
+const std::vector<std::string>& table1_host_names();
+
+}  // namespace flashflow::net

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace flashflow::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_dead_entries() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead_entries();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
+  return heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  drop_dead_entries();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  const auto it = callbacks_.find(entry.id);
+  Event ev{entry.time, entry.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return ev;
+}
+
+}  // namespace flashflow::sim

@@ -1,0 +1,55 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace flashflow::sim {
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_)
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::schedule_in(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0)
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_every(SimDuration interval,
+                                  std::function<bool()> fn) {
+  if (interval <= 0)
+    throw std::invalid_argument("Simulator::schedule_every: interval <= 0");
+  // The periodic closure reschedules itself; shared_ptr lets it self-refer.
+  auto task = std::make_shared<std::function<void()>>();
+  auto body = [this, interval, fn = std::move(fn), task]() {
+    if (fn()) queue_.schedule(now_ + interval, *task);
+  };
+  *task = body;
+  return queue_.schedule(now_ + interval, *task);
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace flashflow::sim

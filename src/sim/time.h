@@ -1,0 +1,38 @@
+// Simulation time primitives.
+//
+// All simulation clocks in this project use integer microseconds so that
+// event ordering is exact and runs are bit-for-bit reproducible. Helpers
+// convert to/from floating-point seconds at the edges (reporting, rate
+// computations) only.
+#pragma once
+
+#include <cstdint>
+
+namespace flashflow::sim {
+
+/// Absolute simulation time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulation time in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1'000;
+inline constexpr SimDuration kSecond = 1'000'000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+/// Converts a floating-point second count to a SimDuration, rounding to the
+/// nearest microsecond.
+constexpr SimDuration from_seconds(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond) +
+                                  (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a SimTime/SimDuration to floating-point seconds.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace flashflow::sim

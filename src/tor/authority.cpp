@@ -1,0 +1,42 @@
+#include "tor/authority.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metrics/stats.h"
+
+namespace flashflow::tor {
+
+Consensus build_consensus(sim::SimTime valid_after,
+                          std::span<const BandwidthFile> files) {
+  // fingerprint -> weights reported by each BWAuth.
+  std::map<std::string, std::vector<double>> weights;
+  for (const auto& file : files)
+    for (const auto& entry : file)
+      weights[entry.fingerprint].push_back(entry.weight);
+
+  const std::size_t majority = files.size() / 2 + 1;
+  Consensus consensus;
+  consensus.valid_after = valid_after;
+  for (const auto& [fingerprint, values] : weights) {
+    if (values.size() < majority) continue;
+    ConsensusEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.weight = metrics::median({values.data(), values.size()});
+    consensus.entries.push_back(std::move(entry));
+  }
+  return consensus;
+}
+
+double median_capacity(std::span<const BandwidthFile> files,
+                       const std::string& fingerprint) {
+  std::vector<double> values;
+  for (const auto& file : files)
+    for (const auto& entry : file)
+      if (entry.fingerprint == fingerprint && entry.capacity_bits > 0.0)
+        values.push_back(entry.capacity_bits);
+  if (values.empty()) return 0.0;
+  return metrics::median({values.data(), values.size()});
+}
+
+}  // namespace flashflow::tor

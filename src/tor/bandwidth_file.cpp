@@ -1,0 +1,110 @@
+#include "tor/bandwidth_file.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/units.h"
+
+namespace flashflow::tor {
+
+namespace {
+constexpr double kBitsPerKByte = 8000.0;  // bandwidth-file bw unit
+
+/// Splits "key=value" and returns the pair; throws on missing '='.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos)
+    throw std::invalid_argument("bandwidth file: token without '=': " +
+                                token);
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+}  // namespace
+
+std::string serialize_bandwidth_file(const BandwidthFileHeader& header,
+                                     const BandwidthFile& entries) {
+  std::ostringstream out;
+  out << header.timestamp << "\n";
+  out << "version=" << header.version << "\n";
+  out << "software=" << header.software << "\n";
+  out << "software_version=" << header.software_version << "\n";
+  out << "=====\n";  // header terminator (spec: "=====")
+  for (const auto& e : entries) {
+    const auto bw_kb = static_cast<long long>(
+        std::max(1.0, std::round(e.weight / kBitsPerKByte)));
+    out << "node_id=$" << e.fingerprint << " bw=" << bw_kb;
+    if (e.capacity_bits > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    net::to_mbit(e.capacity_bits));
+      out << " flashflow_capacity_mbits=" << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+ParsedBandwidthFile parse_bandwidth_file(const std::string& text) {
+  std::istringstream in(text);
+  ParsedBandwidthFile parsed;
+  std::string line;
+
+  if (!std::getline(in, line))
+    throw std::invalid_argument("bandwidth file: empty");
+  try {
+    parsed.header.timestamp = std::stoll(line);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bandwidth file: bad timestamp: " + line);
+  }
+
+  bool in_header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (in_header) {
+      if (line == "=====") {
+        in_header = false;
+        continue;
+      }
+      const auto [key, value] = split_kv(line);
+      if (key == "version") parsed.header.version = value;
+      else if (key == "software") parsed.header.software = value;
+      else if (key == "software_version")
+        parsed.header.software_version = value;
+      continue;  // unknown header keys are ignored per spec
+    }
+
+    BandwidthFileEntry entry;
+    bool have_bw = false;
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      const auto [key, value] = split_kv(token);
+      if (key == "node_id") {
+        entry.fingerprint =
+            !value.empty() && value[0] == '$' ? value.substr(1) : value;
+      } else if (key == "bw") {
+        const double kb = std::stod(value);
+        if (kb < 0.0)
+          throw std::invalid_argument("bandwidth file: negative bw");
+        entry.weight = kb * kBitsPerKByte;
+        have_bw = true;
+      } else if (key == "flashflow_capacity_mbits") {
+        const double mbits = std::stod(value);
+        if (mbits < 0.0)
+          throw std::invalid_argument("bandwidth file: negative capacity");
+        entry.capacity_bits = net::mbit(mbits);
+      }
+    }
+    if (entry.fingerprint.empty())
+      throw std::invalid_argument("bandwidth file: relay line w/o node_id");
+    if (!have_bw)
+      throw std::invalid_argument("bandwidth file: relay line w/o bw");
+    parsed.entries.push_back(std::move(entry));
+  }
+  if (in_header)
+    throw std::invalid_argument("bandwidth file: missing ===== terminator");
+  return parsed;
+}
+
+}  // namespace flashflow::tor

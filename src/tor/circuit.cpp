@@ -1,0 +1,73 @@
+#include "tor/circuit.h"
+
+#include <algorithm>
+
+namespace flashflow::tor {
+
+MeasurementTarget::MeasurementTarget(std::uint64_t circuit_key,
+                                     Behavior behavior,
+                                     std::uint64_t forge_seed)
+    : forward_(derive_key(circuit_key, "forward")),
+      backward_(derive_key(circuit_key, "backward")),
+      behavior_(behavior),
+      forge_rng_(forge_seed) {}
+
+Cell MeasurementTarget::handle(const Cell& incoming) {
+  Cell echo = incoming;
+  echo.command = CellCommand::kMeasureEcho;
+  switch (behavior_) {
+    case Behavior::kHonest:
+      // Decrypt the measurer's layer, then apply the return-direction layer.
+      forward_.apply(recv_counter_, echo.payload_span());
+      backward_.apply(send_counter_, echo.payload_span());
+      break;
+    case Behavior::kSkipDecryption:
+      // Saves the forward decryption; bytes returned are wrong once the
+      // measurer strips the backward layer.
+      backward_.apply(send_counter_, echo.payload_span());
+      break;
+    case Behavior::kForgeEarly:
+      // Fabricates a response without reading the payload at all.
+      for (auto& b : echo.payload)
+        b = static_cast<std::uint8_t>(forge_rng_());
+      break;
+  }
+  ++recv_counter_;
+  ++send_counter_;
+  return echo;
+}
+
+MeasurementSender::MeasurementSender(std::uint64_t circuit_key,
+                                     double check_probability, sim::Rng rng)
+    : forward_(derive_key(circuit_key, "forward")),
+      backward_(derive_key(circuit_key, "backward")),
+      check_probability_(check_probability),
+      rng_(std::move(rng)) {}
+
+Cell MeasurementSender::next_cell(std::uint32_t circuit_id) {
+  Cell cell;
+  cell.circuit_id = circuit_id;
+  cell.command = CellCommand::kMeasure;
+  for (auto& b : cell.payload) b = static_cast<std::uint8_t>(rng_());
+  if (rng_.chance(check_probability_))
+    recorded_.emplace(send_counter_, cell.payload);
+  forward_.apply(send_counter_, cell.payload_span());
+  ++send_counter_;
+  return cell;
+}
+
+bool MeasurementSender::check_echo(const Cell& echo) {
+  const std::uint64_t index = recv_counter_++;
+  const auto it = recorded_.find(index);
+  if (it == recorded_.end()) return true;  // not a spot-checked cell
+  Cell plain = echo;
+  backward_.apply(index, plain.payload_span());
+  ++checked_;
+  const bool ok = std::equal(plain.payload.begin(), plain.payload.end(),
+                             it->second.begin());
+  recorded_.erase(it);
+  if (!ok) ++failures_;
+  return ok;
+}
+
+}  // namespace flashflow::tor

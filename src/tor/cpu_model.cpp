@@ -1,0 +1,23 @@
+#include "tor/cpu_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashflow::tor {
+
+double CpuModel::capacity(int sockets) const {
+  if (sockets < 0) throw std::invalid_argument("CpuModel: negative sockets");
+  return base_bits / (1.0 + per_socket_overhead * sockets);
+}
+
+CpuModel CpuModel::lab() {
+  // capacity(20) = 1.323e9 / 1.06 = 1.248 Gbit/s (paper Appendix C).
+  return CpuModel{1.323e9, 0.003};
+}
+
+CpuModel CpuModel::us_sw() {
+  // capacity(160) = 1.317e9 / 1.48 = 890 Mbit/s (§6.1 ground truth).
+  return CpuModel{1.317e9, 0.003};
+}
+
+}  // namespace flashflow::tor

@@ -1,0 +1,33 @@
+// Tor relay CPU forwarding model.
+//
+// Tor runs all cell scheduling on one thread, so a relay's forwarding
+// capacity is CPU-bound: the paper measured 1.25 Gbit/s peak on lab hardware
+// (Appendix C), with 100% of one core consumed from 13 sockets up. Managing
+// more sockets costs bookkeeping time, which is why throughput *declines*
+// past the peak in Figs 11 and 14. We model capacity as
+//
+//   capacity(n) = base / (1 + overhead * n)
+//
+// where n is the number of busy sockets.
+#pragma once
+
+namespace flashflow::tor {
+
+struct CpuModel {
+  /// Single-thread forwarding capacity with zero socket overhead, bits/s.
+  double base_bits = 1.323e9;
+  /// Fractional capacity cost per busy socket.
+  double per_socket_overhead = 0.003;
+
+  /// Forwarding capacity with `sockets` busy sockets (bits/s).
+  double capacity(int sockets) const;
+
+  /// Lab hardware from Appendix C (2x Xeon E5-2697V3): peaks at 1.248 Gbit/s
+  /// with 20 busy sockets.
+  static CpuModel lab();
+  /// The US-SW Internet host (§6.1): Tor ground truth 890 Mbit/s under a
+  /// 160-socket measurement.
+  static CpuModel us_sw();
+};
+
+}  // namespace flashflow::tor

@@ -1,0 +1,45 @@
+#include "tor/crypto.h"
+
+#include "sim/random.h"
+
+namespace flashflow::tor {
+
+void CellCipher::apply(std::uint64_t cell_counter,
+                       std::span<std::uint8_t> data) const {
+  // Keystream seeded by (key, counter); 8 bytes per draw.
+  std::uint64_t seed = key_ ^ (cell_counter * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t word = 0;
+  int remaining = 0;
+  for (std::uint8_t& byte : data) {
+    if (remaining == 0) {
+      word = sim::splitmix64(seed);
+      remaining = 8;
+    }
+    byte ^= static_cast<std::uint8_t>(word & 0xFF);
+    word >>= 8;
+    --remaining;
+  }
+}
+
+std::uint64_t derive_key(std::uint64_t master_secret, std::string_view label) {
+  std::uint64_t state = master_secret ^ sim::hash_tag(label);
+  return sim::splitmix64(state);
+}
+
+std::uint64_t keyed_digest(std::uint64_t key,
+                           std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ key;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t handshake(std::uint64_t secret_a, std::uint64_t secret_b) {
+  // Commutative combination so both sides compute the same key.
+  std::uint64_t state = (secret_a ^ secret_b) + (secret_a + secret_b);
+  return sim::splitmix64(state);
+}
+
+}  // namespace flashflow::tor

@@ -1,0 +1,46 @@
+// Lightweight cell cryptography.
+//
+// Real Tor uses AES-CTR per onion layer plus TLS on each connection. For
+// this reproduction the cipher only needs to (a) actually transform bytes so
+// the measurement-verification code path is real, and (b) be cheap and
+// deterministic. We use a per-cell xoshiro keystream XOR keyed by
+// (layer key, cell counter) — the counter plays the role of the CTR-mode
+// block counter, keeping both endpoints synchronized without shared state.
+//
+// A keyed digest (FNV-1a over key || data) stands in for Tor's relay-cell
+// digest; it is NOT cryptographically secure and must never be used outside
+// simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace flashflow::tor {
+
+/// Symmetric per-cell stream cipher. apply() both encrypts and decrypts.
+class CellCipher {
+ public:
+  explicit CellCipher(std::uint64_t key) : key_(key) {}
+
+  /// XORs `data` with the keystream for cell number `cell_counter`.
+  void apply(std::uint64_t cell_counter, std::span<std::uint8_t> data) const;
+
+  std::uint64_t key() const { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Derives a sub-key from a master secret and a label (simulation KDF).
+std::uint64_t derive_key(std::uint64_t master_secret, std::string_view label);
+
+/// Keyed digest of a byte span (FNV-1a over key || data).
+std::uint64_t keyed_digest(std::uint64_t key,
+                           std::span<const std::uint8_t> data);
+
+/// Simulated Diffie-Hellman-style handshake: both sides derive the same
+/// circuit key from their secrets. Deterministic and symmetric.
+std::uint64_t handshake(std::uint64_t secret_a, std::uint64_t secret_b);
+
+}  // namespace flashflow::tor

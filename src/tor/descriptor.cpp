@@ -1,0 +1,36 @@
+#include "tor/descriptor.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tor/observed_bandwidth.h"
+
+namespace flashflow::tor {
+
+double ServerDescriptor::advertised_bits() const {
+  return advertised_bandwidth(observed_bits, rate_limit_bits);
+}
+
+double Consensus::total_weight() const {
+  double total = 0.0;
+  for (const auto& e : entries) total += e.weight;
+  return total;
+}
+
+std::vector<double> Consensus::normalized_weights() const {
+  const double total = total_weight();
+  if (total <= 0.0)
+    throw std::logic_error("Consensus::normalized_weights: zero total");
+  std::vector<double> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.weight / total);
+  return out;
+}
+
+std::size_t Consensus::find(const std::string& fingerprint) const {
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    if (entries[i].fingerprint == fingerprint) return i;
+  return npos;
+}
+
+}  // namespace flashflow::tor

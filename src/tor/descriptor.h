@@ -1,0 +1,50 @@
+// Server descriptors and network consensus documents.
+//
+// Relays publish a server descriptor every 18 hours containing their
+// observed bandwidth and any configured rate limit; the *advertised*
+// bandwidth is the minimum of the two. The Directory Authorities publish an
+// hourly consensus listing the relays and their load-balancing weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace flashflow::tor {
+
+/// Tor publishes server descriptors every 18 hours.
+inline constexpr sim::SimDuration kDescriptorInterval = 18 * sim::kHour;
+/// A new consensus is produced every hour.
+inline constexpr sim::SimDuration kConsensusInterval = sim::kHour;
+
+struct ServerDescriptor {
+  std::string fingerprint;
+  double observed_bits = 0.0;    // self-measured observed bandwidth
+  double rate_limit_bits = 0.0;  // operator limit; <= 0 means unlimited
+  sim::SimTime published = 0;
+
+  /// Advertised bandwidth: min(observed, rate limit).
+  double advertised_bits() const;
+};
+
+struct ConsensusEntry {
+  std::string fingerprint;
+  double weight = 0.0;  // consensus weight (unitless, relative)
+  bool is_new = false;  // first appearance within the last month
+};
+
+struct Consensus {
+  sim::SimTime valid_after = 0;
+  std::vector<ConsensusEntry> entries;
+
+  double total_weight() const;
+  /// Normalized weight vector aligned with `entries`; requires a positive
+  /// total weight.
+  std::vector<double> normalized_weights() const;
+  /// Index of a fingerprint in `entries`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const std::string& fingerprint) const;
+};
+
+}  // namespace flashflow::tor

@@ -1,0 +1,36 @@
+#include "tor/path_selection.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace flashflow::tor {
+
+std::size_t select_weighted(const Consensus& consensus, sim::Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(consensus.entries.size());
+  for (const auto& e : consensus.entries) weights.push_back(e.weight);
+  return rng.weighted_index(weights);
+}
+
+std::array<std::size_t, 3> select_path(const Consensus& consensus,
+                                       sim::Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(consensus.entries.size());
+  std::size_t positive = 0;
+  for (const auto& e : consensus.entries) {
+    weights.push_back(e.weight);
+    if (e.weight > 0.0) ++positive;
+  }
+  if (positive < 3)
+    throw std::invalid_argument("select_path: fewer than 3 usable relays");
+
+  std::array<std::size_t, 3> path{};
+  for (std::size_t hop = 0; hop < 3; ++hop) {
+    const std::size_t pick = rng.weighted_index(weights);
+    path[hop] = pick;
+    weights[pick] = 0.0;  // without replacement
+  }
+  return path;
+}
+
+}  // namespace flashflow::tor

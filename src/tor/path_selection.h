@@ -1,0 +1,23 @@
+// Weighted relay selection for client circuits.
+//
+// Clients choose relays with probability proportional to their normalized
+// consensus weights (§2 "Load Balancing"). Paths use three distinct relays.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "sim/random.h"
+#include "tor/descriptor.h"
+
+namespace flashflow::tor {
+
+/// Picks one relay index proportional to consensus weight.
+std::size_t select_weighted(const Consensus& consensus, sim::Rng& rng);
+
+/// Picks three distinct relay indices (guard, middle, exit) proportional to
+/// weight, without replacement. Requires >= 3 positively weighted entries.
+std::array<std::size_t, 3> select_path(const Consensus& consensus,
+                                       sim::Rng& rng);
+
+}  // namespace flashflow::tor

@@ -1,0 +1,83 @@
+#include "tor/relay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/units.h"
+
+namespace flashflow::tor {
+
+RelayNoise::RelayNoise(Params params, sim::Rng rng)
+    : params_(params), rng_(std::move(rng)) {}
+
+double RelayNoise::next_factor() {
+  // Congestion episodes arrive as a Poisson process and persist for an
+  // exponentially distributed number of seconds.
+  if (episode_seconds_left_ <= 0.0 &&
+      rng_.chance(params_.episode_rate_per_s)) {
+    episode_seconds_left_ =
+        rng_.exponential(params_.episode_mean_duration_s);
+    episode_depth_ =
+        rng_.uniform(params_.episode_depth_min, params_.episode_depth_max);
+  }
+  double factor = 1.0 + rng_.normal(0.0, params_.gauss_sigma);
+  if (episode_seconds_left_ > 0.0) {
+    factor *= episode_depth_;
+    episode_seconds_left_ -= 1.0;
+  }
+  return std::clamp(factor, 0.0, params_.max_factor);
+}
+
+double RelayModel::measurement_capacity(int sockets) const {
+  double cap = std::min(nic_up_bits, nic_down_bits);
+  cap = std::min(cap, cpu.capacity(sockets));
+  if (rate_limit_bits > 0.0) cap = std::min(cap, rate_limit_bits);
+  return cap;
+}
+
+double RelayModel::normal_capacity(int sockets) const {
+  return std::min(measurement_capacity(sockets),
+                  sched.normal_aggregate_cap(sockets));
+}
+
+double RelayModel::ground_truth(int sockets) const {
+  const double cap = measurement_capacity(sockets);
+  if (rate_limit_bits > 0.0 && cap >= rate_limit_bits) {
+    // Token-bucket quantization overhead: about 4.5% for small limits,
+    // flattening to ~11 Mbit/s for large ones (matches the paper's measured
+    // ground truths of 9.58/239/494/741 Mbit/s).
+    const double shave = std::min(0.045 * rate_limit_bits, net::mbit(11));
+    return rate_limit_bits - shave;
+  }
+  return cap;
+}
+
+RelaySecond split_measurement_second(const RelayModel& relay,
+                                     double capacity_bits,
+                                     double offered_measurement_bits) {
+  RelaySecond out;
+  const double r = relay.ratio_r;
+  // The relay forwards as much normal traffic as possible subject to
+  // y <= r * (x + y), i.e. y <= x * r / (1 - r), while measurement traffic
+  // takes the rest of the capacity.
+  //
+  // Solve for the split given total capacity C and offered demands.
+  const double demand_y = relay.background_demand_bits;
+  // First give measurement traffic its share assuming max background.
+  // x + y <= C; y <= min(demand_y, x*r/(1-r)); x <= offered.
+  // Greedy: try x = min(offered, C); then y fills the ratio allowance.
+  double x = std::min(offered_measurement_bits, capacity_bits);
+  double y = std::min(demand_y, x * r / (1.0 - r));
+  if (x + y > capacity_bits) {
+    // Capacity binds: background yields first (the relay prioritizes
+    // achieving the measurement while keeping y within the ratio).
+    y = std::max(0.0, capacity_bits - x);
+    y = std::min(y, x * r / (1.0 - r));
+    x = std::min(x, capacity_bits - y);
+  }
+  out.measurement_bits = std::max(0.0, x);
+  out.background_bits = std::max(0.0, y);
+  return out;
+}
+
+}  // namespace flashflow::tor

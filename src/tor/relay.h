@@ -1,0 +1,99 @@
+// Fluid model of a Tor relay as a measurement target.
+//
+// A relay's instantaneous forwarding capacity composes:
+//   - NIC up/down limits of its host,
+//   - the single-threaded CPU limit with per-socket overhead (cpu_model.h),
+//   - any operator token-bucket limit (RelayBandwidthRate/Burst), including
+//     Tor's one-second refill burst at measurement start (Fig 7's spike),
+//   - the scheduler in use (KIST cap for normal traffic; uncapped for
+//     measurement circuits),
+//   - a stochastic per-second noise process standing in for cross traffic
+//     and shared-host contention (drives the accuracy spread in Fig 6).
+//
+// During a FlashFlow measurement the relay enforces the ratio r between
+// normal (background) traffic and total traffic (§4.1): it forwards as much
+// background as possible subject to y <= r * (x + y).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "sim/random.h"
+#include "tor/cpu_model.h"
+#include "tor/scheduler.h"
+
+namespace flashflow::tor {
+
+/// Per-second multiplicative throughput noise: a small Gaussian wobble plus
+/// occasional multi-second congestion episodes (bursty cross traffic).
+class RelayNoise {
+ public:
+  struct Params {
+    double gauss_sigma = 0.012;        // per-second wobble
+    double episode_rate_per_s = 0.010; // Poisson arrival of congestion dips
+    double episode_mean_duration_s = 8.0;
+    double episode_depth_min = 0.86;   // episode multiplies capacity by
+    double episode_depth_max = 0.98;   //   U(min, max)
+    double max_factor = 1.04;          // relays can run slightly "hot"
+  };
+
+  RelayNoise(Params params, sim::Rng rng);
+  /// Noise factor for the next second (advances the process).
+  double next_factor();
+
+ private:
+  Params params_;
+  sim::Rng rng_;
+  double episode_seconds_left_ = 0.0;
+  double episode_depth_ = 1.0;
+};
+
+struct RelayModel {
+  std::string name = "relay";
+  double nic_up_bits = std::numeric_limits<double>::infinity();
+  double nic_down_bits = std::numeric_limits<double>::infinity();
+  /// Operator rate limit on Tor throughput; <= 0 means unlimited.
+  double rate_limit_bits = 0.0;
+  /// Token-bucket depth in seconds-at-rate: the first second of a
+  /// measurement can spend the accumulated bucket on top of the refill
+  /// (the spike at measurement start in Fig 7).
+  double burst_seconds = 0.25;
+  CpuModel cpu;
+  SchedulerModel sched;
+  /// Max fraction r of total traffic that may be normal traffic during a
+  /// measurement (§4.1); the paper recommends 0.25.
+  double ratio_r = 0.25;
+  /// Offered background (client) traffic demand, bits/s.
+  double background_demand_bits = 0.0;
+
+  /// Deterministic forwarding capacity with the measurement scheduler and
+  /// `sockets` busy sockets, before noise and token-bucket burst:
+  /// min(NICs, CPU(n), rate limit). This is the quantity the paper calls
+  /// "Tor ground truth" when probed by saturating clients.
+  double measurement_capacity(int sockets) const;
+
+  /// Deterministic capacity under the normal KIST scheduler (Fig 11 "Sockets"
+  /// curve): additionally capped by the per-socket KIST limit.
+  double normal_capacity(int sockets) const;
+
+  /// Tor ground truth of a rate-limited relay: the token bucket's refill
+  /// quantization and cell framing shave a little off the configured limit
+  /// (§E.2 measured 9.58/239/494/741 against limits of 10/250/500/750).
+  double ground_truth(int sockets) const;
+};
+
+/// One second of relay forwarding during a measurement slot.
+struct RelaySecond {
+  double measurement_bits = 0;  // x_j: measurement traffic forwarded
+  double background_bits = 0;   // y_j: normal traffic forwarded
+};
+
+/// Splits the relay's noisy per-second capacity between measurement traffic
+/// and background traffic under the ratio-r rule. `offered_measurement_bits`
+/// is what the team can deliver this second; `capacity_bits` the relay's
+/// total forwarding capacity this second (already noise-scaled).
+RelaySecond split_measurement_second(const RelayModel& relay,
+                                     double capacity_bits,
+                                     double offered_measurement_bits);
+
+}  // namespace flashflow::tor

@@ -1,0 +1,27 @@
+#include "tor/token_bucket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flashflow::tor {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, double burst_bytes)
+    : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {
+  if (rate_ < 0.0 || burst_ < 0.0)
+    throw std::invalid_argument("TokenBucket: negative rate or burst");
+}
+
+void TokenBucket::refill(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("TokenBucket: negative time");
+  tokens_ = std::min(burst_, tokens_ + rate_ * seconds);
+}
+
+double TokenBucket::take(double want_bytes) {
+  if (want_bytes < 0.0)
+    throw std::invalid_argument("TokenBucket: negative take");
+  const double granted = std::min(tokens_, want_bytes);
+  tokens_ -= granted;
+  return granted;
+}
+
+}  // namespace flashflow::tor

@@ -1,0 +1,35 @@
+// Token bucket implementing Tor's BandwidthRate / BandwidthBurst semantics.
+//
+// The bucket holds up to `burst` bytes of credit and refills at `rate`
+// bytes/second. Tor refills once per second, which is why Fig 7 shows a
+// one-second burst above the configured rate at the start of a measurement:
+// a full bucket plus a refill can be spent in the first second.
+#pragma once
+
+#include <cstdint>
+
+namespace flashflow::tor {
+
+class TokenBucket {
+ public:
+  /// rate/burst in bytes and bytes/second. burst >= rate is typical; the
+  /// bucket starts full.
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes);
+
+  /// Adds `seconds` worth of refill credit (capped at burst).
+  void refill(double seconds);
+
+  /// Takes up to `want_bytes`; returns the amount actually granted.
+  double take(double want_bytes);
+
+  double available() const { return tokens_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+};
+
+}  // namespace flashflow::tor

@@ -1,0 +1,101 @@
+#include "torflow/torflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "metrics/stats.h"
+#include "net/units.h"
+
+namespace flashflow::torflow {
+
+TorFlow::TorFlow(TorFlowParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+double TorFlow::measure_speed(const TorFlowRelay& relay) {
+  // The measurement circuit shares the relay with client traffic; the
+  // available bandwidth for the download is roughly the uncongested share,
+  // further multiplied by a heavy-tailed noise factor for the helper relay
+  // and network conditions.
+  const double available =
+      relay.true_capacity_bits * std::max(0.05, 1.0 - relay.utilization);
+  const double noise =
+      rng_.log_normal(-0.5 * params_.speed_noise_sigma * params_.speed_noise_sigma,
+                      params_.speed_noise_sigma);
+  return std::min({available * noise, params_.circuit_speed_ceiling_bits,
+                   params_.scanner_bw_bits});
+}
+
+double TorFlow::pick_file_bytes(double speed_bits) const {
+  double best = net::kib(std::pow(2.0, params_.min_file_exp));
+  for (int e = params_.min_file_exp; e <= params_.max_file_exp; ++e) {
+    const double bytes = net::kib(std::pow(2.0, e));
+    if (net::bits_from_bytes(bytes) / std::max(speed_bits, 1.0) <=
+        params_.target_download_s)
+      best = bytes;
+  }
+  return best;
+}
+
+tor::BandwidthFile TorFlow::scan(std::span<const TorFlowRelay> relays) {
+  if (relays.empty()) return {};
+  std::vector<double> speeds;
+  speeds.reserve(relays.size());
+  for (const auto& r : relays) speeds.push_back(measure_speed(r));
+  const double mean_speed = metrics::mean(metrics::as_span(speeds));
+
+  tor::BandwidthFile file;
+  file.reserve(relays.size());
+  for (std::size_t i = 0; i < relays.size(); ++i) {
+    tor::BandwidthFileEntry e;
+    e.fingerprint = relays[i].fingerprint;
+    const double ratio = speeds[i] / mean_speed;
+    e.weight = relays[i].advertised_bits * ratio;
+    e.capacity_bits = 0.0;  // TorFlow produces no direct capacity values
+    file.push_back(std::move(e));
+  }
+  return file;
+}
+
+double TorFlow::scan_duration_days(std::span<const TorFlowRelay> relays) {
+  double total_s = 0.0;
+  for (const auto& r : relays) {
+    const double speed = measure_speed(r);
+    const double bytes = pick_file_bytes(speed);
+    // Circuit build + download; floor models per-measurement overhead
+    // (circuit construction, slice bookkeeping, inter-measurement gaps).
+    total_s +=
+        std::max(20.0, net::bits_from_bytes(bytes) / std::max(speed, 1e3));
+  }
+  return total_s / (24.0 * 3600.0);
+}
+
+double advertised_bandwidth_attack_advantage(
+    std::span<const TorFlowRelay> honest_network, std::size_t attacker_index,
+    double lie_factor, const TorFlowParams& params, std::uint64_t seed) {
+  if (attacker_index >= honest_network.size())
+    throw std::out_of_range("attack: bad attacker index");
+
+  const auto normalized_weight = [](const tor::BandwidthFile& file,
+                                    std::size_t index) {
+    double total = 0.0;
+    for (const auto& e : file) total += e.weight;
+    return file[index].weight / total;
+  };
+
+  // Same measurement noise in both scans so the advantage isolates the lie.
+  TorFlow honest_scan(params, seed);
+  const auto honest_file = honest_scan.scan(honest_network);
+
+  std::vector<TorFlowRelay> attacked(honest_network.begin(),
+                                     honest_network.end());
+  attacked[attacker_index].advertised_bits *= lie_factor;
+  TorFlow attacked_scan(params, seed);
+  const auto attacked_file = attacked_scan.scan(attacked);
+
+  return normalized_weight(attacked_file, attacker_index) /
+         normalized_weight(honest_file, attacker_index);
+}
+
+}  // namespace flashflow::torflow

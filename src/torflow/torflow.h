@@ -1,0 +1,83 @@
+// TorFlow baseline (Perry 2009; paper §2, §3).
+//
+// TorFlow builds 2-hop circuits through each relay and downloads one of 13
+// fixed-size files (2^i KiB, i in 4..16), producing a measured speed. Every
+// hour it computes each relay's speed ratio (relay speed / network mean
+// speed) and multiplies it by the relay's *self-reported* advertised
+// bandwidth to obtain the consensus weight.
+//
+// Because the advertised bandwidth is self-reported, a malicious relay can
+// inflate its weight essentially arbitrarily (89x-177x demonstrated in the
+// literature); and because measured speeds ride on live circuits shared
+// with client traffic and a random helper relay, the ratios are noisy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "tor/authority.h"
+
+namespace flashflow::torflow {
+
+struct TorFlowRelay {
+  std::string fingerprint;
+  double true_capacity_bits = 0;
+  /// Self-reported advertised bandwidth (min(observed, rate limit)); a
+  /// malicious relay may report any value.
+  double advertised_bits = 0;
+  /// Fraction of capacity consumed by client traffic during measurement.
+  double utilization = 0.5;
+};
+
+struct TorFlowParams {
+  /// File sizes 2^i KiB for i in [min_file_exp, max_file_exp] (§2).
+  int min_file_exp = 4;
+  int max_file_exp = 16;
+  /// Log-normal sigma of the per-measurement speed noise (helper relay,
+  /// client cross traffic, TCP dynamics).
+  double speed_noise_sigma = 0.35;
+  /// Scanner download bandwidth (Table 2: 1 Gbit/s).
+  double scanner_bw_bits = 1e9;
+  /// Per-circuit download speed ceiling: measurement circuits ride a
+  /// random helper relay and shared scanner circuits, so download speeds
+  /// saturate well below fast relays' capacity.
+  double circuit_speed_ceiling_bits = 100e6;
+  /// Target download duration used to pick the file size for a relay.
+  double target_download_s = 30.0;
+};
+
+class TorFlow {
+ public:
+  TorFlow(TorFlowParams params, std::uint64_t seed);
+
+  /// Measured speed of one relay through a 2-hop circuit (bits/s).
+  double measure_speed(const TorFlowRelay& relay);
+
+  /// Picks the largest file size (bytes) downloadable within the target
+  /// duration at the given speed, out of the 13 fixed sizes.
+  double pick_file_bytes(double speed_bits) const;
+
+  /// One full scan: measures every relay and produces a bandwidth file of
+  /// weights (advertised * speed-ratio). No capacity values: TorFlow only
+  /// infers them indirectly (Table 2).
+  tor::BandwidthFile scan(std::span<const TorFlowRelay> relays);
+
+  /// Time for one serial scanner to measure all relays (Table 2 "Speed").
+  double scan_duration_days(std::span<const TorFlowRelay> relays);
+
+ private:
+  TorFlowParams params_;
+  sim::Rng rng_;
+};
+
+/// Weight-inflation attack: the malicious relay self-reports
+/// `lie_factor` times its honest advertised bandwidth. Returns the ratio of
+/// its normalized consensus weight to the honest baseline.
+double advertised_bandwidth_attack_advantage(
+    std::span<const TorFlowRelay> honest_network, std::size_t attacker_index,
+    double lie_factor, const TorFlowParams& params, std::uint64_t seed);
+
+}  // namespace flashflow::torflow

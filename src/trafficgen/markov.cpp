@@ -1,0 +1,68 @@
+#include "trafficgen/markov.h"
+
+#include <cmath>
+
+#include "net/units.h"
+
+namespace flashflow::trafficgen {
+
+std::vector<Stream> generate_user_streams(const MarkovParams& params,
+                                          sim::SimDuration horizon,
+                                          sim::Rng& rng) {
+  std::vector<Stream> streams;
+  sim::SimTime now = 0;
+  bool active = rng.chance(params.active_mean_s /
+                           (params.active_mean_s + params.idle_mean_s));
+  while (now < horizon) {
+    if (!active) {
+      now += sim::from_seconds(rng.exponential(params.idle_mean_s));
+      active = true;
+      continue;
+    }
+    const sim::SimTime active_end =
+        now + sim::from_seconds(rng.exponential(params.active_mean_s));
+    while (now < active_end && now < horizon) {
+      now += sim::from_seconds(rng.exponential(params.stream_interarrival_s));
+      if (now >= active_end || now >= horizon) break;
+      Stream s;
+      s.start = now;
+      if (rng.chance(params.pareto_tail_prob))
+        s.bytes = rng.pareto(params.pareto_tail_xm_bytes,
+                             params.pareto_tail_alpha);
+      else
+        s.bytes = rng.log_normal(params.stream_size_lognormal_mu,
+                                 params.stream_size_lognormal_sigma);
+      streams.push_back(s);
+    }
+    now = active_end;
+    active = false;
+  }
+  return streams;
+}
+
+double expected_user_load_bytes_per_s(const MarkovParams& params) {
+  // Fraction of time Active times stream rate times mean stream size.
+  const double active_fraction =
+      params.active_mean_s / (params.active_mean_s + params.idle_mean_s);
+  const double streams_per_s =
+      active_fraction / params.stream_interarrival_s;
+  const double lognormal_mean =
+      std::exp(params.stream_size_lognormal_mu +
+               0.5 * params.stream_size_lognormal_sigma *
+                   params.stream_size_lognormal_sigma);
+  const double pareto_mean =
+      params.pareto_tail_alpha > 1.0
+          ? params.pareto_tail_xm_bytes * params.pareto_tail_alpha /
+                (params.pareto_tail_alpha - 1.0)
+          : params.pareto_tail_xm_bytes * 10.0;  // heavy-tail fallback
+  const double mean_bytes = (1.0 - params.pareto_tail_prob) * lognormal_mean +
+                            params.pareto_tail_prob * pareto_mean;
+  return streams_per_s * mean_bytes;
+}
+
+double aggregate_offered_bits(const MarkovParams& params, int users) {
+  return net::bits_from_bytes(expected_user_load_bytes_per_s(params)) *
+         users;
+}
+
+}  // namespace flashflow::trafficgen

@@ -1,0 +1,47 @@
+// TGen-style Markov traffic model (paper §7: "TGen clients that use Tor
+// Markov models to generate the traffic flows of 40k Tor users").
+//
+// Each simulated user alternates between Idle and Active states; while
+// Active it opens streams with exponential inter-arrival times and
+// heavy-tailed (log-normal body, Pareto tail) stream sizes. The model's
+// aggregate offered load is what the shadowsim load levels (100/115/130%)
+// scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace flashflow::trafficgen {
+
+struct MarkovParams {
+  double idle_mean_s = 60.0;        // mean dwell in Idle
+  double active_mean_s = 30.0;      // mean dwell in Active
+  double stream_interarrival_s = 5.0;  // while Active
+  double stream_size_lognormal_mu = 11.0;    // exp(11) ~ 60 KB body
+  double stream_size_lognormal_sigma = 1.5;
+  double pareto_tail_prob = 0.03;   // occasional bulk transfer
+  double pareto_tail_xm_bytes = 2.0e6;
+  double pareto_tail_alpha = 1.3;
+};
+
+struct Stream {
+  sim::SimTime start = 0;
+  double bytes = 0;
+};
+
+/// One user's stream schedule over a horizon. Deterministic in the rng.
+std::vector<Stream> generate_user_streams(const MarkovParams& params,
+                                          sim::SimDuration horizon,
+                                          sim::Rng& rng);
+
+/// Expected offered load of one user in bytes/second (analytic, used to
+/// size aggregate background load without materializing every stream).
+double expected_user_load_bytes_per_s(const MarkovParams& params);
+
+/// Aggregate offered load (bits/s) of `users` users.
+double aggregate_offered_bits(const MarkovParams& params, int users);
+
+}  // namespace flashflow::trafficgen

@@ -1,0 +1,101 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/units.h"
+
+namespace flashflow::core {
+namespace {
+
+TEST(Params, PaperDefaults) {
+  const Params p;
+  EXPECT_EQ(p.sockets, 160);
+  EXPECT_DOUBLE_EQ(p.multiplier, 2.25);
+  EXPECT_EQ(p.slot_seconds, 30);
+  EXPECT_DOUBLE_EQ(p.epsilon1, 0.20);
+  EXPECT_DOUBLE_EQ(p.epsilon2, 0.05);
+  EXPECT_DOUBLE_EQ(p.ratio, 0.25);
+  EXPECT_EQ(p.period, sim::kDay);
+}
+
+TEST(Params, ExcessFactorFormula) {
+  const Params p;
+  // f = m(1 + eps2)/(1 - eps1) = 2.25 * 1.05 / 0.80
+  EXPECT_NEAR(p.excess_factor(), 2.953, 0.001);
+}
+
+TEST(Params, MaxInflationIs133) {
+  const Params p;
+  EXPECT_NEAR(p.max_inflation(), 1.0 / 0.75, 1e-12);  // 1.33x (§5)
+}
+
+TEST(AllocateGreedy, SingleMeasurerTakesAll) {
+  const std::vector<double> caps = {net::gbit(1)};
+  const auto a = allocate_greedy(caps, net::mbit(700));
+  EXPECT_DOUBLE_EQ(a[0], net::mbit(700));
+}
+
+TEST(AllocateGreedy, PrefersLargestResidual) {
+  const std::vector<double> caps = {net::mbit(500), net::gbit(1.6)};
+  const auto a = allocate_greedy(caps, net::mbit(800));
+  // The 1.6G measurer has the most residual capacity: it serves everything.
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], net::mbit(800));
+}
+
+TEST(AllocateGreedy, SpillsOverWhenNeeded) {
+  const std::vector<double> caps = {net::mbit(500), net::mbit(900)};
+  const auto a = allocate_greedy(caps, net::mbit(1200));
+  EXPECT_DOUBLE_EQ(a[1], net::mbit(900));
+  EXPECT_DOUBLE_EQ(a[0], net::mbit(300));
+}
+
+TEST(AllocateGreedy, ExactSumProperty) {
+  const std::vector<double> caps = {100.0, 200.0, 300.0};
+  for (const double need : {50.0, 150.0, 599.0}) {
+    const auto a = allocate_greedy(caps, need);
+    EXPECT_NEAR(std::accumulate(a.begin(), a.end(), 0.0), need, 1e-6);
+    for (std::size_t i = 0; i < caps.size(); ++i)
+      EXPECT_LE(a[i], caps[i] + 1e-9);
+  }
+}
+
+TEST(AllocateGreedy, InsufficientCapacityThrows) {
+  const std::vector<double> caps = {100.0};
+  EXPECT_THROW(allocate_greedy(caps, 101.0), std::runtime_error);
+  EXPECT_THROW(allocate_greedy(caps, -1.0), std::invalid_argument);
+}
+
+TEST(MakeShares, SocketSplitEvenAcrossParticipants) {
+  Params p;  // 160 sockets
+  const std::vector<double> alloc = {net::mbit(100), 0.0, net::mbit(100),
+                                     net::mbit(100), net::mbit(100)};
+  const std::vector<int> cores = {8, 8, 12, 2, 2};
+  const auto shares = make_shares(alloc, cores, p);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shares[0].sockets, 40);  // s/m with 4 participants
+  EXPECT_EQ(shares[1].sockets, 0);
+  EXPECT_EQ(shares[1].processes, 0);
+  EXPECT_EQ(shares[2].sockets, 40);
+  EXPECT_EQ(shares[2].processes, 12);  // one process per core
+}
+
+TEST(MakeShares, AtLeastOneProcess) {
+  Params p;
+  const std::vector<double> alloc = {net::mbit(10)};
+  const std::vector<int> cores = {0};
+  const auto shares = make_shares(alloc, cores, p);
+  EXPECT_EQ(shares[0].processes, 1);
+}
+
+TEST(MakeShares, SizeMismatchThrows) {
+  Params p;
+  const std::vector<double> alloc = {1.0};
+  const std::vector<int> cores = {1, 2};
+  EXPECT_THROW(make_shares(alloc, cores, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashflow::core

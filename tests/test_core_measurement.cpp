@@ -1,0 +1,196 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <numeric>
+
+#include "net/units.h"
+#include "tor/cpu_model.h"
+
+namespace flashflow::core {
+namespace {
+
+net::Topology table1() { return net::make_table1_hosts(); }
+
+tor::RelayModel us_sw_relay(double limit_mbit, double background_mbit = 0) {
+  tor::RelayModel r;
+  r.name = "target";
+  r.nic_up_bits = r.nic_down_bits = net::mbit(954);
+  r.rate_limit_bits = limit_mbit > 0 ? net::mbit(limit_mbit) : 0.0;
+  r.cpu = tor::CpuModel::us_sw();
+  r.background_demand_bits = net::mbit(background_mbit);
+  return r;
+}
+
+TEST(ClampBackground, Formula) {
+  // y <= x * r / (1 - r)
+  EXPECT_DOUBLE_EQ(clamp_background(100.0, 300.0, 0.25), 100.0);
+  EXPECT_DOUBLE_EQ(clamp_background(200.0, 300.0, 0.25), 100.0);
+  EXPECT_DOUBLE_EQ(clamp_background(1e9, 300.0, 0.25), 100.0);
+  EXPECT_DOUBLE_EQ(clamp_background(50.0, 0.0, 0.25), 0.0);
+  EXPECT_THROW(clamp_background(1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SlotRunner, MeasuresRateLimitedRelayAccurately) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(1));
+  const auto relay = us_sw_relay(250);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(250), 160};
+  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+  ASSERT_EQ(out.z_bits.size(), 30u);
+  EXPECT_NEAR(out.estimate_bits, relay.ground_truth(160),
+              relay.ground_truth(160) * 0.15);
+  EXPECT_FALSE(out.verification_failed);
+}
+
+TEST(SlotRunner, EstimateIsMedianOfZ) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(2));
+  const auto relay = us_sw_relay(100);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(100), 160};
+  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+  auto z = out.z_bits;
+  std::nth_element(z.begin(), z.begin() + z.size() / 2, z.end());
+  // Median of 30 (even count averages the pair, but nth gives a bound).
+  EXPECT_NEAR(out.estimate_bits, z[z.size() / 2],
+              out.estimate_bits * 0.05);
+}
+
+TEST(SlotRunner, BurstSpikeInFirstSecond) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(3));
+  auto relay = us_sw_relay(250);
+  relay.burst_seconds = 0.25;
+  const MeasurerSlot m{topo.find("NL"), net::mbit(900), 160};
+  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+  // Fig 7: the first second spends the accumulated bucket.
+  const double later_mean =
+      std::accumulate(out.z_bits.begin() + 5, out.z_bits.end(), 0.0) /
+      static_cast<double>(out.z_bits.size() - 5);
+  EXPECT_GT(out.z_bits[0], later_mean * 1.1);
+}
+
+TEST(SlotRunner, BackgroundClampedToRatio) {
+  const auto topo = table1();
+  Params params;  // r = 0.25
+  SlotRunner runner(topo, params, sim::Rng(4));
+  const auto relay = us_sw_relay(250, /*background=*/50);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(250), 160};
+  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+  for (std::size_t j = 1; j < out.y_clamped_bits.size(); ++j) {
+    EXPECT_LE(out.y_clamped_bits[j],
+              out.x_bits[j] * 0.25 / 0.75 + 1.0);
+  }
+  // Honest relay's reported background equals what it forwarded (50 Mbit/s
+  // fits within the allowance at 250 Mbit/s capacity).
+  const double mid_y = out.y_reported_bits[15];
+  EXPECT_NEAR(net::to_mbit(mid_y), 50, 10);
+}
+
+TEST(SlotRunner, LyingRelayGainsAtMostOneThird) {
+  const auto topo = table1();
+  Params params;
+  // A relay with plenty of real background that it *withholds* while
+  // reporting the maximum: §5 bounds the gain by 1/(1-r) = 1.33.
+  const auto relay = us_sw_relay(250, /*background=*/200);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(250), 160};
+
+  SlotRunner honest_runner(topo, params, sim::Rng(5));
+  const auto honest =
+      honest_runner.run(relay, topo.find("US-SW"), {&m, 1});
+  SlotRunner lying_runner(topo, params, sim::Rng(5));
+  const auto lying = lying_runner.run(relay, topo.find("US-SW"), {&m, 1},
+                                      TargetBehavior::kLieAboutBackground);
+  const double advantage = lying.estimate_bits / honest.estimate_bits;
+  EXPECT_LE(advantage, 1.0 / (1.0 - params.ratio) + 0.02);
+  EXPECT_GT(advantage, 1.05);  // the lie does help, up to the clamp
+}
+
+TEST(SlotRunner, ForgedEchoesDetected) {
+  const auto topo = table1();
+  Params params;  // p_check = 1e-5, ~megabytes of cells -> certain catch
+  SlotRunner runner(topo, params, sim::Rng(6));
+  const auto relay = us_sw_relay(250);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(250), 160};
+  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1},
+                              TargetBehavior::kForgeEchoes);
+  EXPECT_TRUE(out.verification_failed);
+  EXPECT_DOUBLE_EQ(out.estimate_bits, 0.0);
+}
+
+TEST(SlotRunner, PerMeasurerReportsSumToTotal) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(7));
+  const auto relay = us_sw_relay(500);
+  std::vector<MeasurerSlot> team = {
+      {topo.find("US-E"), net::mbit(800), 80},
+      {topo.find("NL"), net::mbit(800), 80},
+  };
+  const auto out = runner.run(relay, topo.find("US-SW"), team);
+  ASSERT_EQ(out.x_by_measurer.size(), 2u);
+  for (std::size_t j = 0; j < out.x_bits.size(); ++j) {
+    const double sum =
+        out.x_by_measurer[0][j] + out.x_by_measurer[1][j];
+    EXPECT_NEAR(sum, out.x_bits[j], out.x_bits[j] * 1e-6 + 1.0);
+  }
+}
+
+TEST(SlotRunner, ConcurrentTargetsShareMeasurers) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(8));
+  // Appendix F: two 400 Mbit/s relays on US-SW measured by US-E + NL.
+  std::vector<SlotRunner::ConcurrentTarget> targets(2);
+  for (auto& t : targets) {
+    t.relay = us_sw_relay(400);
+    t.host = topo.find("US-SW");
+    t.team = {{topo.find("US-E"), net::mbit(600), 40},
+              {topo.find("NL"), net::mbit(600), 40}};
+  }
+  targets[0].relay.name = "r0";
+  targets[1].relay.name = "r1";
+  const auto outs = runner.run_concurrent(targets);
+  ASSERT_EQ(outs.size(), 2u);
+  for (const auto& out : outs) {
+    const double gt = targets[0].relay.ground_truth(80);
+    EXPECT_GT(out.estimate_bits, gt * 0.75);
+    EXPECT_LT(out.estimate_bits, gt * 1.06);
+  }
+}
+
+TEST(SlotRunner, OfferedRateBoundedByAllocation) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(9));
+  MeasurerSlot m{topo.find("NL"), net::mbit(100), 160};
+  EXPECT_LE(runner.offered_rate(m, topo.find("US-SW")),
+            net::mbit(100) + 1.0);
+  m.sockets = 0;
+  EXPECT_DOUBLE_EQ(runner.offered_rate(m, topo.find("US-SW")), 0.0);
+}
+
+TEST(SlotRunner, SocketCountLimitsOfferedRate) {
+  const auto topo = table1();
+  Params params;
+  SlotRunner runner(topo, params, sim::Rng(10));
+  // IN's loaded path: few sockets cannot deliver much (Appendix E.1).
+  MeasurerSlot few{topo.find("IN"), net::gbit(1), 10};
+  MeasurerSlot many{topo.find("IN"), net::gbit(1), 160};
+  EXPECT_LT(runner.offered_rate(few, topo.find("US-SW")),
+            runner.offered_rate(many, topo.find("US-SW")) * 0.2);
+}
+
+}  // namespace
+}  // namespace flashflow::core

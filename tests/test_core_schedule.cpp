@@ -1,0 +1,143 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <set>
+
+#include "net/units.h"
+
+namespace flashflow::core {
+namespace {
+
+TEST(GreedyPack, SingleRelayOneSlot) {
+  Params p;
+  const std::vector<double> caps = {net::mbit(100)};
+  const auto r = greedy_pack(caps, net::gbit(3), p);
+  EXPECT_EQ(r.slots_used, 1);
+  EXPECT_EQ(r.relay_slot[0], 0);
+}
+
+TEST(GreedyPack, PacksLargestFirst) {
+  Params p;
+  // Team 3 Gbit/s; f ~ 2.953: a 998 Mbit/s relay consumes ~2.95 G alone,
+  // leaving ~53 Mbit/s of slack for small relays.
+  const std::vector<double> caps = {net::mbit(998), net::mbit(5),
+                                    net::mbit(5)};
+  const auto r = greedy_pack(caps, net::gbit(3), p);
+  EXPECT_EQ(r.slots_used, 1);  // small relays fit in the leftover
+}
+
+TEST(GreedyPack, SlotCountTracksTotalRequirement) {
+  Params p;
+  std::vector<double> caps(100, net::mbit(100));
+  const double team = net::gbit(3);
+  const auto r = greedy_pack(caps, team, p);
+  const int lower_bound = static_cast<int>(
+      std::ceil(r.total_requirement_bits / team));
+  EXPECT_GE(r.slots_used, lower_bound);
+  EXPECT_LE(r.slots_used, lower_bound + 2);  // near-perfect packing
+}
+
+TEST(GreedyPack, EveryRelayAssignedExactlyOnce) {
+  Params p;
+  std::vector<double> caps;
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) caps.push_back(rng.uniform(1e6, 9e8));
+  const auto r = greedy_pack(caps, net::gbit(3), p);
+  for (const int slot : r.relay_slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, r.slots_used);
+  }
+}
+
+TEST(GreedyPack, SlotCapacityNeverExceeded) {
+  Params p;
+  std::vector<double> caps;
+  sim::Rng rng(4);
+  for (int i = 0; i < 300; ++i) caps.push_back(rng.uniform(1e6, 9e8));
+  const double team = net::gbit(3);
+  const auto r = greedy_pack(caps, team, p);
+  std::vector<double> load(static_cast<std::size_t>(r.slots_used), 0.0);
+  for (std::size_t i = 0; i < caps.size(); ++i)
+    load[static_cast<std::size_t>(r.relay_slot[i])] +=
+        p.excess_factor() * caps[i];
+  for (const double l : load) EXPECT_LE(l, team + 1.0);
+}
+
+TEST(GreedyPack, OversizedRelayThrows) {
+  Params p;
+  const std::vector<double> caps = {net::gbit(2)};  // f*2G > 3G
+  EXPECT_THROW(greedy_pack(caps, net::gbit(3), p), std::runtime_error);
+}
+
+TEST(PeriodSchedule, SlotsPerDay) {
+  Params p;  // 24 h period, 30 s slots
+  PeriodSchedule sched(p, net::gbit(3), 1);
+  EXPECT_EQ(sched.slots_in_period(), 2880);
+}
+
+TEST(PeriodSchedule, OldRelaysGetFeasibleSlots) {
+  Params p;
+  PeriodSchedule sched(p, net::gbit(3), 2);
+  std::vector<double> caps(500, net::mbit(100));
+  const auto slots = sched.schedule_old_relays(caps);
+  ASSERT_EQ(slots.size(), caps.size());
+  for (const int s : slots) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, sched.slots_in_period());
+    EXPECT_LE(sched.slot_load_bits(s), net::gbit(3) + 1.0);
+  }
+}
+
+TEST(PeriodSchedule, DeterministicForSeed) {
+  Params p;
+  std::vector<double> caps(50, net::mbit(100));
+  PeriodSchedule a(p, net::gbit(3), 42);
+  PeriodSchedule b(p, net::gbit(3), 42);
+  EXPECT_EQ(a.schedule_old_relays(caps), b.schedule_old_relays(caps));
+}
+
+TEST(PeriodSchedule, DifferentSeedsDifferentSchedules) {
+  // §4.3: the schedule must be unpredictable without the seed.
+  Params p;
+  std::vector<double> caps(50, net::mbit(100));
+  PeriodSchedule a(p, net::gbit(3), 1);
+  PeriodSchedule b(p, net::gbit(3), 2);
+  EXPECT_NE(a.schedule_old_relays(caps), b.schedule_old_relays(caps));
+}
+
+TEST(PeriodSchedule, SlotsSpreadAcrossPeriod) {
+  Params p;
+  PeriodSchedule sched(p, net::gbit(3), 3);
+  std::vector<double> caps(200, net::mbit(50));
+  const auto slots = sched.schedule_old_relays(caps);
+  std::set<int> distinct(slots.begin(), slots.end());
+  // Uniform choice over 2880 slots: 200 relays should land on many
+  // distinct slots.
+  EXPECT_GT(distinct.size(), 150u);
+}
+
+TEST(PeriodSchedule, NewRelaysFcfsEarliestFit) {
+  Params p;
+  PeriodSchedule sched(p, net::gbit(3), 4);
+  const int s1 = sched.schedule_new_relay(net::mbit(51));
+  const int s2 = sched.schedule_new_relay(net::mbit(51));
+  EXPECT_EQ(s1, 0);
+  EXPECT_EQ(s2, 0);  // both fit in the first slot
+  // Fill slot 0 with a huge relay: next new relay goes to slot 1.
+  PeriodSchedule tight(p, net::mbit(200), 5);
+  tight.schedule_new_relay(net::mbit(60));  // ~177 of 200 Mbit used
+  const int s3 = tight.schedule_new_relay(net::mbit(60));
+  EXPECT_EQ(s3, 1);
+}
+
+TEST(PeriodSchedule, RejectsZeroCapacityTeam) {
+  Params p;
+  EXPECT_THROW(PeriodSchedule(p, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashflow::core

@@ -1,0 +1,77 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace flashflow::core {
+namespace {
+
+ControlMessage sample_message() {
+  ControlMessage m;
+  m.type = MessageType::kMeasureRequest;
+  m.sender = 0xB0A;
+  m.period_index = 7;
+  m.target_fingerprint = "relay-1";
+  m.measurer_keys = {11, 22, 33};
+  m.value = 123.5;
+  m.second = 4;
+  return m;
+}
+
+TEST(Wire, SignVerifyRoundTrip) {
+  auto m = sample_message();
+  sign_message(m, /*secret=*/999);
+  EXPECT_TRUE(verify_message(m, 999));
+}
+
+TEST(Wire, WrongKeyFails) {
+  auto m = sample_message();
+  sign_message(m, 999);
+  EXPECT_FALSE(verify_message(m, 1000));
+}
+
+TEST(Wire, TamperedFieldsFail) {
+  auto m = sample_message();
+  sign_message(m, 999);
+
+  auto tampered = m;
+  tampered.value = 9999.0;
+  EXPECT_FALSE(verify_message(tampered, 999));
+
+  tampered = m;
+  tampered.target_fingerprint = "relay-2";
+  EXPECT_FALSE(verify_message(tampered, 999));
+
+  tampered = m;
+  tampered.measurer_keys.push_back(44);
+  EXPECT_FALSE(verify_message(tampered, 999));
+
+  tampered = m;
+  tampered.period_index = 8;
+  EXPECT_FALSE(verify_message(tampered, 999));
+
+  tampered = m;
+  tampered.second = 5;
+  EXPECT_FALSE(verify_message(tampered, 999));
+}
+
+TEST(Gate, OncePerPeriodPerBWAuth) {
+  MeasurementGate gate;
+  EXPECT_TRUE(gate.admit(/*bwauth=*/1, /*period=*/10));
+  EXPECT_FALSE(gate.admit(1, 10));  // §4.1: once per period
+  EXPECT_TRUE(gate.admit(1, 11));   // next period ok
+  EXPECT_TRUE(gate.admit(2, 10));   // different BWAuth ok
+}
+
+TEST(Gate, MeasurerAuthorization) {
+  MeasurementGate gate;
+  EXPECT_FALSE(gate.measurer_authorized(5));
+  gate.authorize_measurers({5, 6});
+  EXPECT_TRUE(gate.measurer_authorized(5));
+  EXPECT_TRUE(gate.measurer_authorized(6));
+  EXPECT_FALSE(gate.measurer_authorized(7));
+  gate.clear_authorizations();
+  EXPECT_FALSE(gate.measurer_authorized(5));
+}
+
+}  // namespace
+}  // namespace flashflow::core

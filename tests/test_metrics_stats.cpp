@@ -1,0 +1,95 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace flashflow::metrics {
+namespace {
+
+const std::vector<double> kSample = {4.0, 1.0, 3.0, 2.0, 5.0};
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean(as_span(kSample)), 3.0); }
+
+TEST(Stats, MedianOdd) { EXPECT_DOUBLE_EQ(median(as_span(kSample)), 3.0); }
+
+TEST(Stats, MedianEvenAveragesMiddle) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(median(as_span(v)), 2.5);
+}
+
+TEST(Stats, MedianSingleton) {
+  const std::vector<double> v = {7.5};
+  EXPECT_DOUBLE_EQ(median(as_span(v)), 7.5);
+}
+
+TEST(Stats, StdevOfConstantIsZero) {
+  const std::vector<double> v = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(stdev(as_span(v)), 0.0);
+}
+
+TEST(Stats, StdevKnownValue) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stdev(as_span(v)), 2.0);  // classic example
+}
+
+TEST(Stats, RelativeStdev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(relative_stdev(as_span(v)), 2.0 / 5.0);
+}
+
+TEST(Stats, RelativeStdevRejectsZeroMean) {
+  const std::vector<double> v = {-1.0, 1.0};
+  EXPECT_THROW(relative_stdev(as_span(v)), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  EXPECT_DOUBLE_EQ(percentile(as_span(kSample), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(as_span(kSample), 100.0), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(as_span(v), 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(as_span(v), 50.0), 5.0);
+}
+
+TEST(Stats, PercentileRejectsBadQ) {
+  EXPECT_THROW(percentile(as_span(kSample), -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(as_span(kSample), 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(as_span(kSample)), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(as_span(kSample)), 5.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(as_span(empty)), std::invalid_argument);
+  EXPECT_THROW(median(as_span(empty)), std::invalid_argument);
+  EXPECT_THROW(stdev(as_span(empty)), std::invalid_argument);
+  EXPECT_THROW(min_value(as_span(empty)), std::invalid_argument);
+  EXPECT_THROW(max_value(as_span(empty)), std::invalid_argument);
+  EXPECT_THROW(box_stats(as_span(empty)), std::invalid_argument);
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const BoxStats b = box_stats(as_span(v));
+  EXPECT_DOUBLE_EQ(b.p5, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 25.0);
+  EXPECT_DOUBLE_EQ(b.median, 50.0);
+  EXPECT_DOUBLE_EQ(b.q3, 75.0);
+  EXPECT_DOUBLE_EQ(b.p95, 95.0);
+  EXPECT_DOUBLE_EQ(b.mean, 50.0);
+  EXPECT_LE(b.p5, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.p95);
+}
+
+}  // namespace
+}  // namespace flashflow::metrics

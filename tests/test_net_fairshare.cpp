@@ -1,0 +1,173 @@
+#include "net/fairshare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace flashflow::net {
+namespace {
+
+TEST(FairShare, SingleFlowGetsFullCapacity) {
+  const std::vector<FairShareResource> res = {{100.0}};
+  std::vector<FairShareFlow> flows(1);
+  flows[0].resources = {0};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(FairShare, EqualSplit) {
+  const std::vector<FairShareResource> res = {{90.0}};
+  std::vector<FairShareFlow> flows(3);
+  for (auto& f : flows) f.resources = {0};
+  const auto rates = max_min_fair_rates(res, flows);
+  for (const double r : rates) EXPECT_NEAR(r, 30.0, 1e-9);
+}
+
+TEST(FairShare, WeightedSplit) {
+  const std::vector<FairShareResource> res = {{100.0}};
+  std::vector<FairShareFlow> flows(2);
+  flows[0].resources = {0};
+  flows[0].weight = 3.0;
+  flows[1].resources = {0};
+  flows[1].weight = 1.0;
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_NEAR(rates[0], 75.0, 1e-9);
+  EXPECT_NEAR(rates[1], 25.0, 1e-9);
+}
+
+TEST(FairShare, CapFreesCapacityForOthers) {
+  const std::vector<FairShareResource> res = {{100.0}};
+  std::vector<FairShareFlow> flows(2);
+  flows[0].resources = {0};
+  flows[0].cap = 10.0;
+  flows[1].resources = {0};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_NEAR(rates[0], 10.0, 1e-9);
+  EXPECT_NEAR(rates[1], 90.0, 1e-9);
+}
+
+TEST(FairShare, ClassicTriangle) {
+  // Two resources; flow A uses both, B uses first, C uses second.
+  const std::vector<FairShareResource> res = {{100.0}, {100.0}};
+  std::vector<FairShareFlow> flows(3);
+  flows[0].resources = {0, 1};
+  flows[1].resources = {0};
+  flows[2].resources = {1};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_NEAR(rates[0], 50.0, 1e-9);
+  EXPECT_NEAR(rates[1], 50.0, 1e-9);
+  EXPECT_NEAR(rates[2], 50.0, 1e-9);
+}
+
+TEST(FairShare, BottleneckChain) {
+  // Tight first link limits the shared flow; second link's leftover goes to
+  // the local flow.
+  const std::vector<FairShareResource> res = {{10.0}, {100.0}};
+  std::vector<FairShareFlow> flows(2);
+  flows[0].resources = {0, 1};
+  flows[1].resources = {1};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_NEAR(rates[0], 10.0, 1e-9);
+  EXPECT_NEAR(rates[1], 90.0, 1e-9);
+}
+
+TEST(FairShare, UnconstrainedFlowGetsInfinity) {
+  const std::vector<FairShareResource> res = {{0.0}};  // capacity <= 0
+  std::vector<FairShareFlow> flows(1);
+  flows[0].resources = {0};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_TRUE(std::isinf(rates[0]));
+}
+
+TEST(FairShare, ZeroCapFlowFrozenImmediately) {
+  const std::vector<FairShareResource> res = {{100.0}};
+  std::vector<FairShareFlow> flows(2);
+  flows[0].resources = {0};
+  flows[0].cap = 0.0;
+  flows[1].resources = {0};
+  const auto rates = max_min_fair_rates(res, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_NEAR(rates[1], 100.0, 1e-9);
+}
+
+TEST(FairShare, RejectsBadInput) {
+  const std::vector<FairShareResource> res = {{10.0}};
+  std::vector<FairShareFlow> bad_weight(1);
+  bad_weight[0].resources = {0};
+  bad_weight[0].weight = 0.0;
+  EXPECT_THROW(max_min_fair_rates(res, bad_weight), std::invalid_argument);
+
+  std::vector<FairShareFlow> bad_resource(1);
+  bad_resource[0].resources = {5};
+  EXPECT_THROW(max_min_fair_rates(res, bad_resource), std::out_of_range);
+}
+
+TEST(FairShare, EmptyFlowsOk) {
+  const std::vector<FairShareResource> res = {{10.0}};
+  EXPECT_TRUE(max_min_fair_rates(res, {}).empty());
+}
+
+// ------------------------- property-based sweep ---------------------------
+
+struct RandomCase {
+  int resources;
+  int flows;
+  std::uint64_t seed;
+};
+
+class FairShareProperty : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(FairShareProperty, InvariantsHold) {
+  const auto param = GetParam();
+  sim::Rng rng(param.seed);
+  std::vector<FairShareResource> res(
+      static_cast<std::size_t>(param.resources));
+  for (auto& r : res) r.capacity = rng.uniform(10.0, 1000.0);
+
+  std::vector<FairShareFlow> flows(static_cast<std::size_t>(param.flows));
+  for (auto& f : flows) {
+    const int uses = static_cast<int>(rng.uniform_int(1, 3));
+    for (int u = 0; u < uses; ++u)
+      f.resources.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, param.resources - 1)));
+    f.weight = rng.uniform(0.5, 4.0);
+    if (rng.chance(0.3)) f.cap = rng.uniform(5.0, 500.0);
+  }
+
+  const auto rates = max_min_fair_rates(res, flows);
+
+  // 1. No flow exceeds its cap.
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    EXPECT_LE(rates[i], flows[i].cap + 1e-6);
+
+  // 2. No resource is over capacity.
+  std::vector<double> usage(res.size(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    for (const auto r : flows[i].resources) usage[r] += rates[i];
+  for (std::size_t r = 0; r < res.size(); ++r)
+    EXPECT_LE(usage[r], res[r].capacity + 1e-5);
+
+  // 3. Work conservation: every flow is bottlenecked somewhere — either at
+  // its cap or at a saturated resource.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] >= flows[i].cap - 1e-6) continue;
+    bool saturated = false;
+    for (const auto r : flows[i].resources)
+      if (usage[r] >= res[r].capacity - 1e-5) saturated = true;
+    EXPECT_TRUE(saturated) << "flow " << i << " is not bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTopologies, FairShareProperty,
+    ::testing::Values(RandomCase{1, 2, 1}, RandomCase{2, 5, 2},
+                      RandomCase{3, 10, 3}, RandomCase{5, 20, 4},
+                      RandomCase{8, 40, 5}, RandomCase{4, 4, 6},
+                      RandomCase{10, 80, 7}, RandomCase{6, 30, 8}));
+
+}  // namespace
+}  // namespace flashflow::net

@@ -1,0 +1,174 @@
+#include "net/flownet.h"
+
+#include <gtest/gtest.h>
+
+#include "net/units.h"
+#include "sim/simulator.h"
+
+namespace flashflow::net {
+namespace {
+
+struct FlowNetTest : ::testing::Test {
+  sim::Simulator simu;
+  FlowNet netw{simu};
+};
+
+TEST_F(FlowNetTest, SingleFlowUsesCapacity) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  const FlowId f = netw.add_flow(std::move(spec));
+  EXPECT_DOUBLE_EQ(netw.rate(f), mbit(100));
+  simu.run_until(10 * sim::kSecond);
+  // 100 Mbit/s for 10 s = 125 MB.
+  EXPECT_NEAR(netw.bytes_transferred(f), 125e6, 1.0);
+}
+
+TEST_F(FlowNetTest, TwoFlowsShareFairly) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec a, b;
+  a.resources = {r};
+  b.resources = {r};
+  const FlowId fa = netw.add_flow(std::move(a));
+  const FlowId fb = netw.add_flow(std::move(b));
+  EXPECT_NEAR(netw.rate(fa), mbit(50), 1.0);
+  EXPECT_NEAR(netw.rate(fb), mbit(50), 1.0);
+}
+
+TEST_F(FlowNetTest, RemovalRestoresRates) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec a, b;
+  a.resources = {r};
+  b.resources = {r};
+  const FlowId fa = netw.add_flow(std::move(a));
+  const FlowId fb = netw.add_flow(std::move(b));
+  netw.remove_flow(fb);
+  EXPECT_DOUBLE_EQ(netw.rate(fa), mbit(100));
+  EXPECT_FALSE(netw.is_live(fb));
+  // Retired flow stats remain queryable.
+  EXPECT_NO_THROW(netw.bytes_transferred(fb));
+}
+
+TEST_F(FlowNetTest, VolumeCompletesAtExactTime) {
+  const ResourceId r = netw.add_resource("link", mbit(8));  // 1 MB/s
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  spec.volume_bytes = 5e6;  // 5 seconds
+  sim::SimTime completed_at = -1;
+  spec.on_complete = [&](FlowId) { completed_at = simu.now(); };
+  netw.add_flow(std::move(spec));
+  simu.run();
+  EXPECT_NEAR(sim::to_seconds(completed_at), 5.0, 0.001);
+}
+
+TEST_F(FlowNetTest, CompletionFreesCapacity) {
+  const ResourceId r = netw.add_resource("link", mbit(8));
+  FlowNet::FlowSpec finite, infinite;
+  finite.resources = {r};
+  finite.volume_bytes = 1e6;  // 2 s at half rate
+  infinite.resources = {r};
+  netw.add_flow(std::move(finite));
+  const FlowId inf_flow = netw.add_flow(std::move(infinite));
+  simu.run_until(10 * sim::kSecond);
+  // First 2 s at 0.5 MB/s, remaining 8 s at 1 MB/s = 9 MB.
+  EXPECT_NEAR(netw.bytes_transferred(inf_flow), 9e6, 1e4);
+}
+
+TEST_F(FlowNetTest, CompletionCallbackCanAddFlows) {
+  const ResourceId r = netw.add_resource("link", mbit(8));
+  FlowNet::FlowSpec first;
+  first.resources = {r};
+  first.volume_bytes = 1e6;
+  int completions = 0;
+  first.on_complete = [&](FlowId) {
+    ++completions;
+    FlowNet::FlowSpec second;
+    second.resources = {r};
+    second.volume_bytes = 1e6;
+    second.on_complete = [&](FlowId) { ++completions; };
+    netw.add_flow(std::move(second));
+  };
+  netw.add_flow(std::move(first));
+  simu.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_NEAR(sim::to_seconds(simu.now()), 2.0, 0.01);
+}
+
+TEST_F(FlowNetTest, PerSecondSeriesRecordsRate) {
+  const ResourceId r = netw.add_resource("link", mbit(80));
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  spec.record_per_second = true;
+  const FlowId f = netw.add_flow(std::move(spec));
+  simu.run_until(5 * sim::kSecond);
+  netw.sync();
+  const auto bins = netw.series(f).bins_bits_per_second();
+  ASSERT_GE(bins.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(bins[i], mbit(80), 1e3);
+}
+
+TEST_F(FlowNetTest, CapacityChangeTakesEffect) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  const FlowId f = netw.add_flow(std::move(spec));
+  simu.run_until(1 * sim::kSecond);
+  netw.set_capacity(r, mbit(10));
+  EXPECT_DOUBLE_EQ(netw.rate(f), mbit(10));
+  EXPECT_DOUBLE_EQ(netw.capacity(r), mbit(10));
+}
+
+TEST_F(FlowNetTest, WeightedContention) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec heavy, light;
+  heavy.resources = {r};
+  heavy.weight = 4.0;
+  light.resources = {r};
+  const FlowId fh = netw.add_flow(std::move(heavy));
+  const FlowId fl = netw.add_flow(std::move(light));
+  EXPECT_NEAR(netw.rate(fh), mbit(80), 1.0);
+  EXPECT_NEAR(netw.rate(fl), mbit(20), 1.0);
+}
+
+TEST_F(FlowNetTest, ResourceUsageSumsRates) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec a, b;
+  a.resources = {r};
+  b.resources = {r};
+  netw.add_flow(std::move(a));
+  netw.add_flow(std::move(b));
+  EXPECT_NEAR(netw.resource_usage(r), mbit(100), 1.0);
+}
+
+TEST_F(FlowNetTest, FlowCapRespected) {
+  const ResourceId r = netw.add_resource("link", mbit(100));
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  spec.cap_bits = mbit(30);
+  const FlowId f = netw.add_flow(std::move(spec));
+  EXPECT_DOUBLE_EQ(netw.rate(f), mbit(30));
+}
+
+TEST_F(FlowNetTest, RejectsBadSpecs) {
+  FlowNet::FlowSpec bad_resource;
+  bad_resource.resources = {99};
+  EXPECT_THROW(netw.add_flow(std::move(bad_resource)), std::out_of_range);
+  FlowNet::FlowSpec bad_weight;
+  bad_weight.weight = 0.0;
+  EXPECT_THROW(netw.add_flow(std::move(bad_weight)),
+               std::invalid_argument);
+  EXPECT_THROW(netw.bytes_transferred(1234), std::invalid_argument);
+}
+
+TEST_F(FlowNetTest, RemainingBytesTracksProgress) {
+  const ResourceId r = netw.add_resource("link", mbit(8));
+  FlowNet::FlowSpec spec;
+  spec.resources = {r};
+  spec.volume_bytes = 4e6;
+  const FlowId f = netw.add_flow(std::move(spec));
+  simu.run_until(1 * sim::kSecond);
+  EXPECT_NEAR(netw.remaining_bytes(f), 3e6, 1e3);
+}
+
+}  // namespace
+}  // namespace flashflow::net

@@ -1,0 +1,88 @@
+#include "net/iperf.h"
+
+#include <gtest/gtest.h>
+
+#include "net/units.h"
+
+namespace flashflow::net {
+namespace {
+
+struct IperfTest : ::testing::Test {
+  Topology topo = make_table1_hosts();
+  IperfRunner runner{topo, 42};
+};
+
+TEST_F(IperfTest, SaturatingUdpMatchesNic) {
+  // Table 1 "BW (measured)": the receiver NIC is the bottleneck.
+  for (const auto& name : table1_host_names()) {
+    const HostId h = topo.find(name);
+    const auto report = runner.run_saturate_udp(h, 60);
+    EXPECT_NEAR(report.median_bits(), topo.host(h).nic_down_bits,
+                topo.host(h).nic_down_bits * 0.03)
+        << name;
+  }
+}
+
+TEST_F(IperfTest, UdpBeatsTcpOnHighRttPath) {
+  const HostId us_sw = topo.find("US-SW");
+  const HostId in = topo.find("IN");
+  const auto tcp = runner.run_tcp(in, us_sw, 60);
+  const auto udp = runner.run_udp(in, us_sw, 60);
+  EXPECT_GT(udp.median_bits(), tcp.median_bits());
+}
+
+TEST_F(IperfTest, TcpSingleStreamIsWindowLimited) {
+  const HostId us_sw = topo.find("US-SW");
+  const HostId in = topo.find("IN");
+  // 4 MiB window at 210 ms -> well under the NIC.
+  const auto tcp = runner.run_tcp(us_sw, in, 60);
+  EXPECT_LT(tcp.median_bits(), mbit(300));
+  EXPECT_GT(tcp.median_bits(), mbit(25));
+}
+
+TEST_F(IperfTest, ParallelStreamsRaiseTcpThroughput) {
+  const HostId us_sw = topo.find("US-SW");
+  const HostId in = topo.find("IN");
+  const auto one = runner.run_tcp(us_sw, in, 30, 1);
+  const auto eight = runner.run_tcp(us_sw, in, 30, 8);
+  EXPECT_GT(eight.median_bits(), one.median_bits() * 3.0);
+}
+
+TEST_F(IperfTest, BidirectionalTakesMin) {
+  const HostId a = topo.find("US-E");
+  const HostId b = topo.find("NL");
+  const auto both = runner.run_bidirectional(a, b, 30, /*udp=*/true);
+  const auto ab = runner.run_udp(a, b, 30);
+  // min(sent, received) cannot exceed the one-way throughput by much
+  // (only noise draws differ).
+  EXPECT_LE(both.median_bits(), ab.median_bits() * 1.05);
+  EXPECT_GT(both.median_bits(), 0.0);
+}
+
+TEST_F(IperfTest, ReportDurationMatches) {
+  const auto r =
+      runner.run_udp(topo.find("US-E"), topo.find("NL"), 15);
+  EXPECT_EQ(r.per_second_bits.size(), 15u);
+}
+
+TEST_F(IperfTest, EmptyReportMedianIsZero) {
+  IperfReport empty;
+  EXPECT_DOUBLE_EQ(empty.median_bits(), 0.0);
+}
+
+TEST_F(IperfTest, VariableHostShowsSpread) {
+  // US-NW's receive direction is configured flaky (Appendix B).
+  const HostId us_sw = topo.find("US-SW");
+  const HostId us_nw = topo.find("US-NW");
+  IperfRunner r(topo, 7);
+  double lo = 1e18, hi = 0;
+  for (int i = 0; i < 12; ++i) {
+    const double m = r.run_tcp(us_sw, us_nw, 30).median_bits();
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_LT(lo, hi * 0.7);  // wide range, like Table 3's 176-787
+}
+
+}  // namespace
+}  // namespace flashflow::net

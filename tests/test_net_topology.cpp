@@ -1,0 +1,110 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "net/units.h"
+
+namespace flashflow::net {
+namespace {
+
+TEST(Topology, AddHostAndLookup) {
+  Topology t;
+  const HostId a = t.add_host({.name = "a", .nic_up_bits = mbit(100),
+                               .nic_down_bits = mbit(100)});
+  const HostId b = t.add_host({.name = "b", .nic_up_bits = mbit(200),
+                               .nic_down_bits = mbit(200)});
+  EXPECT_EQ(t.host_count(), 2u);
+  EXPECT_EQ(t.find("a"), a);
+  EXPECT_EQ(t.find("b"), b);
+  EXPECT_THROW(t.find("c"), std::invalid_argument);
+  EXPECT_THROW(t.host(5), std::out_of_range);
+}
+
+TEST(Topology, PathIsSymmetric) {
+  Topology t;
+  const HostId a = t.add_host({.name = "a"});
+  const HostId b = t.add_host({.name = "b"});
+  t.set_path(a, b, 0.05, 1e-5, 2e-4);
+  EXPECT_DOUBLE_EQ(t.rtt(a, b), 0.05);
+  EXPECT_DOUBLE_EQ(t.rtt(b, a), 0.05);
+  EXPECT_DOUBLE_EQ(t.loss(a, b), 1e-5);
+  EXPECT_DOUBLE_EQ(t.loaded_loss(b, a), 2e-4);
+}
+
+TEST(Topology, LoadedLossDefaultsToCleanLoss) {
+  Topology t;
+  const HostId a = t.add_host({.name = "a"});
+  const HostId b = t.add_host({.name = "b"});
+  t.set_path(a, b, 0.05, 3e-5);
+  EXPECT_DOUBLE_EQ(t.loaded_loss(a, b), 3e-5);
+}
+
+TEST(Topology, GrowingPreservesPaths) {
+  Topology t;
+  const HostId a = t.add_host({.name = "a"});
+  const HostId b = t.add_host({.name = "b"});
+  t.set_path(a, b, 0.1, 0.0);
+  const HostId c = t.add_host({.name = "c"});
+  EXPECT_DOUBLE_EQ(t.rtt(a, b), 0.1);  // survived the matrix growth
+  EXPECT_DOUBLE_EQ(t.rtt(a, c), 0.0);  // unset defaults to zero
+}
+
+TEST(Topology, RejectsBadPathParams) {
+  Topology t;
+  const HostId a = t.add_host({.name = "a"});
+  const HostId b = t.add_host({.name = "b"});
+  EXPECT_THROW(t.set_path(a, b, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.set_path(a, b, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Table1Hosts, MatchesPaperInventory) {
+  const Topology t = make_table1_hosts();
+  ASSERT_EQ(t.host_count(), 5u);
+  // Table 1 "BW (measured)" row.
+  EXPECT_NEAR(to_mbit(t.host(t.find("US-SW")).nic_down_bits), 954, 1);
+  EXPECT_NEAR(to_mbit(t.host(t.find("US-NW")).nic_down_bits), 946, 1);
+  EXPECT_NEAR(to_mbit(t.host(t.find("US-E")).nic_down_bits), 941, 1);
+  EXPECT_NEAR(to_mbit(t.host(t.find("IN")).nic_down_bits), 1076, 1);
+  EXPECT_NEAR(to_mbit(t.host(t.find("NL")).nic_down_bits), 1611, 1);
+  // Table 1 RTT row (seconds).
+  const HostId us_sw = t.find("US-SW");
+  EXPECT_DOUBLE_EQ(t.rtt(us_sw, t.find("US-NW")), 0.040);
+  EXPECT_DOUBLE_EQ(t.rtt(us_sw, t.find("US-E")), 0.062);
+  EXPECT_DOUBLE_EQ(t.rtt(us_sw, t.find("IN")), 0.210);
+  EXPECT_DOUBLE_EQ(t.rtt(us_sw, t.find("NL")), 0.137);
+  // Table 1 CPU cores and virtualization.
+  EXPECT_EQ(t.host(t.find("US-E")).cpu_cores, 12);
+  EXPECT_FALSE(t.host(t.find("US-E")).virtual_host);
+  EXPECT_TRUE(t.host(t.find("IN")).virtual_host);
+  EXPECT_FALSE(t.host(t.find("US-E")).datacenter);  // residential
+}
+
+TEST(Table1Hosts, LoadedLossExceedsCleanLoss) {
+  const Topology t = make_table1_hosts();
+  const HostId us_sw = t.find("US-SW");
+  for (const auto& name : {"US-NW", "US-E", "IN", "NL"}) {
+    const HostId h = t.find(name);
+    EXPECT_GT(t.loaded_loss(us_sw, h), t.loss(us_sw, h));
+  }
+}
+
+TEST(LabPair, TenGigLowLatency) {
+  const Topology t = make_lab_pair();
+  ASSERT_EQ(t.host_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.host(0).nic_up_bits, gbit(10));
+  EXPECT_DOUBLE_EQ(t.rtt(0, 1), 0.00013);
+  EXPECT_DOUBLE_EQ(t.loss(0, 1), 0.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbit(250), 250e6);
+  EXPECT_DOUBLE_EQ(gbit(1), 1e9);
+  EXPECT_DOUBLE_EQ(to_mbit(5e8), 500);
+  EXPECT_DOUBLE_EQ(kib(50), 51200);
+  EXPECT_DOUBLE_EQ(mib(1), 1048576);
+  EXPECT_DOUBLE_EQ(bytes_from_bits(80), 10);
+  EXPECT_DOUBLE_EQ(bits_from_bytes(10), 80);
+}
+
+}  // namespace
+}  // namespace flashflow::net

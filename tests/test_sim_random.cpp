@@ -1,0 +1,201 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace flashflow::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  EXPECT_NE(r(), 0ULL);  // SplitMix expansion avoids the all-zero state
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng r(17);
+  EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntThrowsOnBadRange) {
+  Rng r(17);
+  EXPECT_THROW(r.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng r(19);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  EXPECT_FALSE(r.chance(-0.5));
+  EXPECT_TRUE(r.chance(1.5));
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(29);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng r(29);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(31);
+  double sum = 0, sum_sq = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng r(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.log_normal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng r(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoRejectsBadParams) {
+  Rng r(41);
+  EXPECT_THROW(r.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(r.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng r(43);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.weighted_index(weights) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng r(47);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(r.weighted_index(weights), 1u);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng r(47);
+  std::vector<double> empty;
+  std::vector<double> negative = {1.0, -1.0};
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(r.weighted_index(empty), std::invalid_argument);
+  EXPECT_THROW(r.weighted_index(negative), std::invalid_argument);
+  EXPECT_THROW(r.weighted_index(zeros), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(99);
+  Rng a = parent.fork("a");
+  Rng b = parent.fork("b");
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(99), p2(99);
+  Rng a1 = p1.fork("x");
+  Rng a2 = p2.fork("x");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a1(), a2());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(53);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  r.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(HashTag, StableAndDistinct) {
+  EXPECT_EQ(hash_tag("abc"), hash_tag("abc"));
+  EXPECT_NE(hash_tag("abc"), hash_tag("abd"));
+}
+
+}  // namespace
+}  // namespace flashflow::sim

@@ -1,0 +1,78 @@
+#include "tor/bandwidth_file.h"
+
+#include <gtest/gtest.h>
+
+#include "net/units.h"
+
+namespace flashflow::tor {
+namespace {
+
+BandwidthFile sample_entries() {
+  return {{"AAAA", net::mbit(80), net::mbit(100)},
+          {"BBBB", net::mbit(8), 0.0}};
+}
+
+TEST(BandwidthFileFormat, RoundTrip) {
+  BandwidthFileHeader header;
+  header.timestamp = 1234567890;
+  const auto text = serialize_bandwidth_file(header, sample_entries());
+  const auto parsed = parse_bandwidth_file(text);
+  EXPECT_EQ(parsed.header.timestamp, 1234567890);
+  EXPECT_EQ(parsed.header.software, "flashflow");
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].fingerprint, "AAAA");
+  // bw= is rounded to KB/s: 80 Mbit/s = 10000 KB/s.
+  EXPECT_NEAR(parsed.entries[0].weight, net::mbit(80), 8000.0);
+  EXPECT_NEAR(parsed.entries[0].capacity_bits, net::mbit(100),
+              net::mbit(0.01));
+  EXPECT_DOUBLE_EQ(parsed.entries[1].capacity_bits, 0.0);
+}
+
+TEST(BandwidthFileFormat, SerializedShape) {
+  BandwidthFileHeader header;
+  header.timestamp = 42;
+  const auto text = serialize_bandwidth_file(header, sample_entries());
+  EXPECT_EQ(text.find("42\n"), 0u);
+  EXPECT_NE(text.find("version=1.4.0"), std::string::npos);
+  EXPECT_NE(text.find("=====\n"), std::string::npos);
+  EXPECT_NE(text.find("node_id=$AAAA bw=10000"), std::string::npos);
+  EXPECT_NE(text.find("flashflow_capacity_mbits=100.000"),
+            std::string::npos);
+}
+
+TEST(BandwidthFileFormat, TinyWeightsGetFloorOfOne) {
+  BandwidthFileHeader header;
+  const BandwidthFile entries = {{"CCCC", 10.0, 0.0}};  // ~0 KB/s
+  const auto parsed =
+      parse_bandwidth_file(serialize_bandwidth_file(header, entries));
+  EXPECT_GE(parsed.entries[0].weight, 8000.0);  // bw=1
+}
+
+TEST(BandwidthFileFormat, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_bandwidth_file(""), std::invalid_argument);
+  EXPECT_THROW(parse_bandwidth_file("not-a-timestamp\n=====\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_bandwidth_file("42\nversion=1.4.0\n"),  // no =====
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_bandwidth_file("42\n=====\nnode_id=$AAAA\n"),  // missing bw
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_bandwidth_file("42\n=====\nbw=10\n"),  // missing node_id
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_bandwidth_file("42\n=====\nnode_id=$A bw=-5\n"),
+      std::invalid_argument);
+}
+
+TEST(BandwidthFileFormat, IgnoresUnknownKeys) {
+  const auto parsed = parse_bandwidth_file(
+      "42\nversion=9.9\nfuture_header=yes\n=====\n"
+      "node_id=$AAAA bw=100 nick=foo unmeasured=0\n");
+  EXPECT_EQ(parsed.header.version, "9.9");
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].fingerprint, "AAAA");
+}
+
+}  // namespace
+}  // namespace flashflow::tor

@@ -1,0 +1,82 @@
+#include "tor/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace flashflow::tor {
+namespace {
+
+constexpr std::uint64_t kCircuitKey = 0xABCDEF;
+
+TEST(MeasurementCircuit, HonestEchoPassesAllChecks) {
+  MeasurementSender sender(kCircuitKey, /*check_probability=*/1.0,
+                           sim::Rng(1));
+  MeasurementTarget target(kCircuitKey, MeasurementTarget::Behavior::kHonest);
+  for (int i = 0; i < 200; ++i) {
+    const Cell cell = sender.next_cell(7);
+    EXPECT_EQ(cell.command, CellCommand::kMeasure);
+    const Cell echo = target.handle(cell);
+    EXPECT_EQ(echo.command, CellCommand::kMeasureEcho);
+    EXPECT_TRUE(sender.check_echo(echo));
+  }
+  EXPECT_EQ(sender.cells_sent(), 200u);
+  EXPECT_EQ(sender.cells_checked(), 200u);
+  EXPECT_EQ(sender.failures(), 0u);
+  EXPECT_EQ(target.cells_handled(), 200u);
+}
+
+TEST(MeasurementCircuit, SkipDecryptionCaughtWhenChecked) {
+  MeasurementSender sender(kCircuitKey, 1.0, sim::Rng(2));
+  MeasurementTarget target(kCircuitKey,
+                           MeasurementTarget::Behavior::kSkipDecryption);
+  const Cell cell = sender.next_cell(7);
+  const Cell echo = target.handle(cell);
+  EXPECT_FALSE(sender.check_echo(echo));
+  EXPECT_EQ(sender.failures(), 1u);
+}
+
+TEST(MeasurementCircuit, ForgedEchoCaughtWhenChecked) {
+  MeasurementSender sender(kCircuitKey, 1.0, sim::Rng(3));
+  MeasurementTarget target(kCircuitKey,
+                           MeasurementTarget::Behavior::kForgeEarly);
+  const Cell cell = sender.next_cell(7);
+  const Cell echo = target.handle(cell);
+  EXPECT_FALSE(sender.check_echo(echo));
+}
+
+TEST(MeasurementCircuit, UncheckedCellsPassEvenIfForged) {
+  // With p = 0 nothing is recorded, so forgery goes unnoticed — this is
+  // exactly why p must be positive (§5).
+  MeasurementSender sender(kCircuitKey, 0.0, sim::Rng(4));
+  MeasurementTarget target(kCircuitKey,
+                           MeasurementTarget::Behavior::kForgeEarly);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(sender.check_echo(target.handle(sender.next_cell(7))));
+  EXPECT_EQ(sender.cells_checked(), 0u);
+}
+
+TEST(MeasurementCircuit, SamplingRateApproximatesP) {
+  MeasurementSender sender(kCircuitKey, 0.1, sim::Rng(5));
+  MeasurementTarget target(kCircuitKey, MeasurementTarget::Behavior::kHonest);
+  for (int i = 0; i < 5000; ++i)
+    sender.check_echo(target.handle(sender.next_cell(7)));
+  const double rate =
+      static_cast<double>(sender.cells_checked()) / 5000.0;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+  EXPECT_EQ(sender.failures(), 0u);
+}
+
+TEST(MeasurementCircuit, MismatchedKeysFailChecks) {
+  MeasurementSender sender(kCircuitKey, 1.0, sim::Rng(6));
+  MeasurementTarget target(kCircuitKey + 1,
+                           MeasurementTarget::Behavior::kHonest);
+  const Cell echo = target.handle(sender.next_cell(7));
+  EXPECT_FALSE(sender.check_echo(echo));
+}
+
+TEST(MeasurementCircuit, WindowConstantsMatchTor) {
+  EXPECT_EQ(kCircuitWindowCells, 1000);
+  EXPECT_EQ(kStreamWindowCells, 500);
+}
+
+}  // namespace
+}  // namespace flashflow::tor

@@ -1,0 +1,79 @@
+#include "tor/crypto.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "tor/cell.h"
+
+namespace flashflow::tor {
+namespace {
+
+TEST(CellCipher, RoundTrips) {
+  CellCipher cipher(0x1234);
+  std::array<std::uint8_t, 64> data{};
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  auto encrypted = data;
+  cipher.apply(7, encrypted);
+  EXPECT_NE(encrypted, data);
+  cipher.apply(7, encrypted);  // symmetric
+  EXPECT_EQ(encrypted, data);
+}
+
+TEST(CellCipher, CounterChangesKeystream) {
+  CellCipher cipher(0x1234);
+  std::array<std::uint8_t, 32> a{}, b{};
+  cipher.apply(1, a);
+  cipher.apply(2, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(CellCipher, KeyChangesKeystream) {
+  std::array<std::uint8_t, 32> a{}, b{};
+  CellCipher(1).apply(0, a);
+  CellCipher(2).apply(0, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeriveKey, LabelSeparation) {
+  const auto fwd = derive_key(42, "forward");
+  const auto bwd = derive_key(42, "backward");
+  EXPECT_NE(fwd, bwd);
+  EXPECT_EQ(fwd, derive_key(42, "forward"));  // deterministic
+}
+
+TEST(KeyedDigest, DetectsTampering) {
+  std::array<std::uint8_t, 16> data{};
+  const auto d1 = keyed_digest(5, data);
+  data[3] ^= 1;
+  const auto d2 = keyed_digest(5, data);
+  EXPECT_NE(d1, d2);
+}
+
+TEST(KeyedDigest, KeyMatters) {
+  std::array<std::uint8_t, 16> data{};
+  EXPECT_NE(keyed_digest(1, data), keyed_digest(2, data));
+}
+
+TEST(Handshake, SymmetricKeyAgreement) {
+  EXPECT_EQ(handshake(111, 222), handshake(222, 111));
+  EXPECT_NE(handshake(111, 222), handshake(111, 333));
+}
+
+TEST(Cell, SizesMatchTor) {
+  EXPECT_EQ(kCellSize, 514u);
+  EXPECT_EQ(kCellPayloadSize, 509u);
+  Cell c;
+  EXPECT_EQ(c.payload_span().size(), kCellPayloadSize);
+}
+
+TEST(Cell, MeasurementCellPredicate) {
+  EXPECT_TRUE(is_measurement_cell(CellCommand::kMeasure));
+  EXPECT_TRUE(is_measurement_cell(CellCommand::kMeasureEcho));
+  EXPECT_FALSE(is_measurement_cell(CellCommand::kRelayData));
+  EXPECT_FALSE(is_measurement_cell(CellCommand::kSpeedtest));
+}
+
+}  // namespace
+}  // namespace flashflow::tor

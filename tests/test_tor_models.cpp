@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/units.h"
+#include "tor/cpu_model.h"
+#include "tor/observed_bandwidth.h"
+#include "tor/relay.h"
+#include "tor/scheduler.h"
+#include "tor/token_bucket.h"
+
+namespace flashflow::tor {
+namespace {
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket b(100.0, 250.0);
+  EXPECT_DOUBLE_EQ(b.available(), 250.0);
+  EXPECT_DOUBLE_EQ(b.take(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(b.available(), 150.0);
+  EXPECT_DOUBLE_EQ(b.take(500.0), 150.0);  // partial grant
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket b(100.0, 250.0);
+  b.take(250.0);
+  b.refill(1.0);
+  EXPECT_DOUBLE_EQ(b.available(), 100.0);
+  b.refill(10.0);
+  EXPECT_DOUBLE_EQ(b.available(), 250.0);
+}
+
+TEST(TokenBucket, Conservation) {
+  // Granted bytes never exceed burst + rate * time.
+  TokenBucket b(50.0, 100.0);
+  double granted = 0.0;
+  for (int s = 0; s < 20; ++s) {
+    granted += b.take(80.0);
+    b.refill(1.0);
+  }
+  EXPECT_LE(granted, 100.0 + 50.0 * 20 + 1e-9);
+}
+
+TEST(TokenBucket, RejectsNegativeArgs) {
+  EXPECT_THROW(TokenBucket(-1.0, 1.0), std::invalid_argument);
+  TokenBucket b(1.0, 1.0);
+  EXPECT_THROW(b.take(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.refill(-1.0), std::invalid_argument);
+}
+
+TEST(ObservedBandwidth, MaxOverWindows) {
+  ObservedBandwidth obs(2, 10);
+  obs.record(10.0);
+  EXPECT_DOUBLE_EQ(obs.observed_bits(), 0.0);  // no full window yet
+  obs.record(20.0);
+  EXPECT_DOUBLE_EQ(obs.observed_bits(), 15.0);
+  obs.record(30.0);  // window {20,30} = 25
+  EXPECT_DOUBLE_EQ(obs.observed_bits(), 25.0);
+  for (int i = 0; i < 20; ++i) obs.record(1.0);
+  EXPECT_DOUBLE_EQ(obs.observed_bits(), 1.0);  // history expired the peak
+}
+
+TEST(ObservedBandwidth, AdvertisedIsMinWithRateLimit) {
+  EXPECT_DOUBLE_EQ(advertised_bandwidth(100.0, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(advertised_bandwidth(100.0, 200.0), 100.0);
+  EXPECT_DOUBLE_EQ(advertised_bandwidth(100.0, 0.0), 100.0);  // unlimited
+}
+
+TEST(CpuModel, PaperCalibration) {
+  // Appendix C: 1.248 Gbit/s peak at 20 sockets on lab hardware.
+  EXPECT_NEAR(net::to_mbit(CpuModel::lab().capacity(20)), 1248, 5);
+  // §6.1: 890 Mbit/s ground truth on US-SW with 160 measurement sockets.
+  EXPECT_NEAR(net::to_mbit(CpuModel::us_sw().capacity(160)), 890, 5);
+}
+
+TEST(CpuModel, MonotoneDecreasingInSockets) {
+  const CpuModel cpu = CpuModel::lab();
+  double prev = cpu.capacity(0);
+  for (int n = 1; n <= 300; n += 10) {
+    EXPECT_LT(cpu.capacity(n), prev);
+    prev = cpu.capacity(n);
+  }
+  EXPECT_THROW(cpu.capacity(-1), std::invalid_argument);
+}
+
+TEST(Scheduler, KistCapsScaleWithSockets) {
+  SchedulerModel s;
+  EXPECT_DOUBLE_EQ(s.normal_aggregate_cap(1), s.kist_per_socket_cap_bits);
+  EXPECT_DOUBLE_EQ(s.normal_aggregate_cap(10),
+                   10 * s.kist_per_socket_cap_bits);
+  EXPECT_TRUE(std::isinf(s.measurement_aggregate_cap()));
+  EXPECT_THROW(s.normal_aggregate_cap(-1), std::invalid_argument);
+}
+
+TEST(RelayModel, GroundTruthMatchesPaperAppendixE2) {
+  // Paper: limits 10/250/500/750 Mbit/s -> ground truths 9.58/239/494/741.
+  RelayModel r;
+  r.nic_up_bits = r.nic_down_bits = net::mbit(954);
+  r.cpu = CpuModel::us_sw();
+  const auto gt = [&](double limit) {
+    r.rate_limit_bits = net::mbit(limit);
+    return net::to_mbit(r.ground_truth(160));
+  };
+  EXPECT_NEAR(gt(10), 9.58, 0.2);
+  EXPECT_NEAR(gt(250), 239, 3);
+  EXPECT_NEAR(gt(500), 494, 6);
+  EXPECT_NEAR(gt(750), 741, 4);
+  r.rate_limit_bits = 0;
+  EXPECT_NEAR(net::to_mbit(r.ground_truth(160)), 890, 5);
+}
+
+TEST(RelayModel, MeasurementCapacityComposesLimits) {
+  RelayModel r;
+  r.nic_up_bits = net::mbit(100);
+  r.nic_down_bits = net::mbit(200);
+  r.cpu.base_bits = net::mbit(500);
+  EXPECT_DOUBLE_EQ(r.measurement_capacity(0), net::mbit(100));  // NIC bound
+  r.rate_limit_bits = net::mbit(50);
+  EXPECT_DOUBLE_EQ(r.measurement_capacity(0), net::mbit(50));
+}
+
+TEST(RelayModel, NormalCapacityKistBound) {
+  RelayModel r;
+  r.cpu = CpuModel::lab();
+  // One socket under the normal scheduler: KIST per-socket cap binds.
+  EXPECT_DOUBLE_EQ(r.normal_capacity(1), r.sched.kist_per_socket_cap_bits);
+  // Twenty sockets: CPU binds (Fig 11 peak).
+  EXPECT_NEAR(net::to_mbit(r.normal_capacity(20)), 1248, 5);
+}
+
+TEST(SplitSecond, RatioRuleHonored) {
+  RelayModel r;
+  r.ratio_r = 0.25;
+  r.background_demand_bits = net::mbit(500);
+  // Capacity 100, offered measurement 100: y <= x*r/(1-r) = x/3.
+  const auto s = split_measurement_second(r, net::mbit(100), net::mbit(100));
+  EXPECT_LE(s.background_bits,
+            s.measurement_bits * 0.25 / 0.75 + 1.0);
+  EXPECT_LE(s.measurement_bits + s.background_bits, net::mbit(100) + 1.0);
+}
+
+TEST(SplitSecond, LowBackgroundPassesThrough) {
+  RelayModel r;
+  r.ratio_r = 0.25;
+  r.background_demand_bits = net::mbit(5);
+  const auto s = split_measurement_second(r, net::mbit(100), net::mbit(60));
+  EXPECT_NEAR(s.background_bits, net::mbit(5), 1.0);
+  EXPECT_NEAR(s.measurement_bits, net::mbit(60), 1.0);
+}
+
+TEST(RelayNoise, FactorsBoundedAndVarying) {
+  RelayNoise noise({}, sim::Rng(9));
+  double lo = 10, hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double f = noise.next_factor();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.04);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_LT(lo, hi);  // the process actually varies
+}
+
+}  // namespace
+}  // namespace flashflow::tor

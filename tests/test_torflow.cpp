@@ -1,0 +1,105 @@
+#include "torflow/torflow.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/units.h"
+
+namespace flashflow::torflow {
+namespace {
+
+std::vector<TorFlowRelay> make_network(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<TorFlowRelay> relays;
+  for (int i = 0; i < n; ++i) {
+    TorFlowRelay r;
+    r.fingerprint = "r" + std::to_string(i);
+    r.true_capacity_bits = rng.uniform(net::mbit(5), net::mbit(500));
+    r.advertised_bits = r.true_capacity_bits * rng.uniform(0.4, 0.9);
+    r.utilization = rng.uniform(0.2, 0.8);
+    relays.push_back(std::move(r));
+  }
+  return relays;
+}
+
+TEST(TorFlow, ScanProducesWeightsOnly) {
+  TorFlow tf({}, 1);
+  const auto relays = make_network(20, 2);
+  const auto file = tf.scan(relays);
+  ASSERT_EQ(file.size(), relays.size());
+  for (const auto& e : file) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_DOUBLE_EQ(e.capacity_bits, 0.0);  // Table 2: no capacity values
+  }
+}
+
+TEST(TorFlow, EmptyScan) {
+  TorFlow tf({}, 1);
+  EXPECT_TRUE(tf.scan({}).empty());
+}
+
+TEST(TorFlow, WeightsTrackAdvertisedTimesRatio) {
+  // With noise suppressed, weight = advertised * speed/mean_speed.
+  TorFlowParams params;
+  params.speed_noise_sigma = 1e-6;
+  TorFlow tf(params, 3);
+  std::vector<TorFlowRelay> relays = {
+      {"a", net::mbit(100), net::mbit(80), 0.5},
+      {"b", net::mbit(100), net::mbit(80), 0.5},
+  };
+  const auto file = tf.scan(relays);
+  // Identical relays: ratios ~1, weights ~advertised.
+  EXPECT_NEAR(file[0].weight, net::mbit(80), net::mbit(2));
+  EXPECT_NEAR(file[1].weight, net::mbit(80), net::mbit(2));
+}
+
+TEST(TorFlow, PickFileBytesIsPowerOfTwoKiB) {
+  TorFlow tf({}, 4);
+  const double bytes = tf.pick_file_bytes(net::mbit(10));
+  const double kib = bytes / 1024.0;
+  EXPECT_GE(kib, 16.0);
+  EXPECT_LE(kib, 65536.0);
+  double e = std::log2(kib);
+  EXPECT_NEAR(e, std::round(e), 1e-9);
+}
+
+TEST(TorFlow, FasterRelaysGetBiggerFiles) {
+  TorFlow tf({}, 5);
+  EXPECT_GT(tf.pick_file_bytes(net::mbit(100)),
+            tf.pick_file_bytes(net::mbit(1)));
+}
+
+TEST(TorFlow, ScanDurationDaysScale) {
+  // Table 2: a single 1 Gbit/s scanner needs >= 2 days for ~6500 relays.
+  TorFlow tf({}, 6);
+  const auto relays = make_network(6500, 7);
+  const double days = tf.scan_duration_days(relays);
+  EXPECT_GT(days, 1.5);
+  EXPECT_LT(days, 6.0);
+}
+
+TEST(TorFlow, InflationAttackScalesWithLie) {
+  // The headline vulnerability: self-reported bandwidth lets a relay
+  // inflate its weight by roughly the lie factor (89x-177x demonstrated).
+  // On a large network the attacker's honest share is tiny, so the
+  // normalized advantage approaches the lie factor itself.
+  const auto relays = make_network(1000, 8);
+  const double adv177 =
+      advertised_bandwidth_attack_advantage(relays, 0, 177.0, {}, 9);
+  EXPECT_GT(adv177, 80.0);
+  const double adv10 =
+      advertised_bandwidth_attack_advantage(relays, 0, 10.0, {}, 9);
+  EXPECT_GT(adv10, 5.0);
+  EXPECT_LT(adv10, adv177);
+}
+
+TEST(TorFlow, AttackIndexValidated) {
+  const auto relays = make_network(5, 10);
+  EXPECT_THROW(
+      advertised_bandwidth_attack_advantage(relays, 99, 2.0, {}, 1),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace flashflow::torflow

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "trafficgen/benchmark.h"
+#include "trafficgen/markov.h"
+
+namespace flashflow::trafficgen {
+namespace {
+
+TEST(Markov, StreamsWithinHorizon) {
+  MarkovParams params;
+  sim::Rng rng(1);
+  const auto streams =
+      generate_user_streams(params, 3600 * sim::kSecond, rng);
+  ASSERT_FALSE(streams.empty());
+  for (const auto& s : streams) {
+    EXPECT_GE(s.start, 0);
+    EXPECT_LT(s.start, 3600 * sim::kSecond);
+    EXPECT_GT(s.bytes, 0.0);
+  }
+}
+
+TEST(Markov, StartsAreNondecreasing) {
+  MarkovParams params;
+  sim::Rng rng(2);
+  const auto streams =
+      generate_user_streams(params, 1800 * sim::kSecond, rng);
+  for (std::size_t i = 1; i < streams.size(); ++i)
+    EXPECT_LE(streams[i - 1].start, streams[i].start);
+}
+
+TEST(Markov, EmpiricalLoadMatchesAnalytic) {
+  MarkovParams params;
+  sim::Rng rng(3);
+  double total_bytes = 0;
+  const double horizon_s = 40000.0;
+  for (int u = 0; u < 30; ++u) {
+    const auto streams = generate_user_streams(
+        params, sim::from_seconds(horizon_s), rng);
+    for (const auto& s : streams) total_bytes += s.bytes;
+  }
+  const double empirical = total_bytes / (horizon_s * 30);
+  const double analytic = expected_user_load_bytes_per_s(params);
+  // Heavy-tailed sizes: generous tolerance.
+  EXPECT_GT(empirical, analytic * 0.5);
+  EXPECT_LT(empirical, analytic * 2.0);
+}
+
+TEST(Markov, AggregateScalesWithUsers) {
+  MarkovParams params;
+  EXPECT_NEAR(aggregate_offered_bits(params, 100),
+              100 * aggregate_offered_bits(params, 1), 1.0);
+}
+
+TEST(Benchmark, ConstantsMatchPaper) {
+  EXPECT_DOUBLE_EQ(kTransferBytes[0], 50.0 * 1024);
+  EXPECT_DOUBLE_EQ(kTransferBytes[1], 1024.0 * 1024);
+  EXPECT_DOUBLE_EQ(kTransferBytes[2], 5.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(kTransferTimeoutS[0], 15.0);
+  EXPECT_DOUBLE_EQ(kTransferTimeoutS[1], 60.0);
+  EXPECT_DOUBLE_EQ(kTransferTimeoutS[2], 120.0);
+}
+
+TEST(Benchmark, ResultsFilterBySizeAndTimeout) {
+  BenchmarkResults results;
+  results.records.push_back(
+      {TransferSize::k50KiB, 0, 0.5, 1.0, false});
+  results.records.push_back(
+      {TransferSize::k50KiB, 0, 0.5, 15.0, true});
+  results.records.push_back({TransferSize::k1MiB, 0, 0.7, 4.0, false});
+
+  EXPECT_EQ(results.ttfb_all().size(), 2u);  // timeouts excluded
+  EXPECT_EQ(results.ttlb_for(TransferSize::k50KiB).size(), 1u);
+  EXPECT_DOUBLE_EQ(results.ttlb_for(TransferSize::k1MiB)[0], 4.0);
+  EXPECT_NEAR(results.error_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(results.error_rate_for(TransferSize::k50KiB), 0.5);
+  EXPECT_DOUBLE_EQ(results.error_rate_for(TransferSize::k1MiB), 0.0);
+  EXPECT_DOUBLE_EQ(results.error_rate_for(TransferSize::k5MiB), 0.0);
+}
+
+TEST(Benchmark, EmptyResults) {
+  BenchmarkResults results;
+  EXPECT_DOUBLE_EQ(results.error_rate(), 0.0);
+  EXPECT_TRUE(results.ttfb_all().empty());
+}
+
+}  // namespace
+}  // namespace flashflow::trafficgen
