@@ -3,6 +3,7 @@
 // fluid network, and the statistics kernels.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "metrics/stats.h"
@@ -86,8 +87,11 @@ void BM_FlowNetAddRemove(benchmark::State& state) {
   sim::Simulator simu;
   net::FlowNet netw(simu);
   std::vector<net::ResourceId> resources;
-  for (int i = 0; i < 16; ++i)
-    resources.push_back(netw.add_resource("r" + std::to_string(i), 1e9));
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "r";
+    name += std::to_string(i);
+    resources.push_back(netw.add_resource(name, 1e9));
+  }
   sim::Rng rng(9);
   for (auto _ : state) {
     net::FlowNet::FlowSpec spec;

@@ -39,7 +39,9 @@ int main() {
   // --- TorFlow: self-report lie of 177x. --------------------------------
   std::vector<torflow::TorFlowRelay> tf_relays;
   for (int i = 0; i < n_relays; ++i) {
-    tf_relays.push_back({"r" + std::to_string(i),
+    std::string fp = "r";
+    fp += std::to_string(i);
+    tf_relays.push_back({std::move(fp),
                          capacities[static_cast<std::size_t>(i)],
                          capacities[static_cast<std::size_t>(i)] *
                              rng.uniform(0.4, 0.9),
@@ -62,7 +64,8 @@ int main() {
   std::vector<peerflow::PeerFlowRelay> pf_relays;
   for (int i = 0; i < n_relays; ++i) {
     peerflow::PeerFlowRelay r;
-    r.fingerprint = "r" + std::to_string(i);
+    r.fingerprint = "r";
+    r.fingerprint += std::to_string(i);
     r.true_capacity_bits = capacities[static_cast<std::size_t>(i)];
     r.utilization = rng.uniform(0.3, 0.7);
     r.trusted = i < 60;        // 20% trusted

@@ -44,7 +44,8 @@ int main() {
         params.excess_factor() * config.limit_mbit * config.count * 1e6;
     for (int i = 0; i < config.count; ++i) {
       auto& t = targets[static_cast<std::size_t>(i)];
-      t.relay.name = "relay-" + std::to_string(i);
+      t.relay.name = "relay-";
+      t.relay.name += std::to_string(i);
       t.relay.nic_up_bits = t.relay.nic_down_bits = net::mbit(954);
       t.relay.rate_limit_bits = net::mbit(config.limit_mbit);
       t.relay.cpu = tor::CpuModel::us_sw();
@@ -67,10 +68,16 @@ int main() {
       lo = std::min(lo, out.estimate_bits);
       hi = std::max(hi, out.estimate_bits);
     }
-    estimates = "[" + metrics::Table::num(net::to_mbit(lo), 0) + ", " +
-                metrics::Table::num(net::to_mbit(hi), 0) + "]";
-    relative = "[" + metrics::Table::pct(lo / gt, 0) + ", " +
-               metrics::Table::pct(hi / gt, 0) + "]";
+    estimates = "[";
+    estimates += metrics::Table::num(net::to_mbit(lo), 0);
+    estimates += ", ";
+    estimates += metrics::Table::num(net::to_mbit(hi), 0);
+    estimates += "]";
+    relative = "[";
+    relative += metrics::Table::pct(lo / gt, 0);
+    relative += ", ";
+    relative += metrics::Table::pct(hi / gt, 0);
+    relative += "]";
     table.add_row({metrics::Table::num(config.limit_mbit, 0) + " Mbit/s",
                    std::to_string(config.count),
                    metrics::Table::num(net::to_mbit(gt), 1), config.paper_gt,

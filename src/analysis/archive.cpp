@@ -37,8 +37,7 @@ void SyntheticArchive::activate_joiners() {
          population_[join_order_[next_join_]].join_hour <= hour_) {
     const std::size_t idx = join_order_[next_join_++];
     if (population_[idx].leave_hour <= hour_) continue;  // zero-length life
-    LiveRelay lr{.pop_index = idx,
-                 .observed = tor::ObservedBandwidth::archive_hourly()};
+    LiveRelay lr(idx, tor::ObservedBandwidth::archive_hourly());
     lr.next_publish_hour = hour_;
     live_.push_back(std::move(lr));
   }

@@ -55,6 +55,9 @@ class SyntheticArchive {
 
  private:
   struct LiveRelay {
+    LiveRelay(std::size_t index, tor::ObservedBandwidth obs)
+        : pop_index(index), observed(std::move(obs)) {}
+
     std::size_t pop_index = 0;
     tor::ObservedBandwidth observed;
     double ar_state = 0.0;       // AR(1) utilization deviation (hours)

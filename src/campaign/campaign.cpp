@@ -1,0 +1,177 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "campaign/thread_pool.h"
+#include "core/allocation.h"
+#include "core/schedule.h"
+#include "core/team.h"
+#include "metrics/stats.h"
+
+namespace flashflow::campaign {
+
+CampaignRunner::CampaignRunner(const net::Topology& topo,
+                               CampaignConfig config)
+    : topo_(topo), config_(std::move(config)) {
+  if (config_.measurer_hosts.empty())
+    throw std::invalid_argument("CampaignRunner: no measurers");
+  if (!config_.measurer_capacity_bits.empty() &&
+      config_.measurer_capacity_bits.size() != config_.measurer_hosts.size())
+    throw std::invalid_argument(
+        "CampaignRunner: capacity overrides misaligned with measurers");
+
+  core::Team team(topo_, config_.measurer_hosts);
+  if (config_.measurer_capacity_bits.empty()) {
+    team.measure_measurers(config_.seed);
+  } else {
+    for (std::size_t i = 0; i < config_.measurer_capacity_bits.size(); ++i)
+      team.set_capacity(i, config_.measurer_capacity_bits[i]);
+  }
+  measurer_caps_ = team.capacities();
+  measurer_cores_ = team.cores();
+}
+
+double CampaignRunner::team_capacity_bits() const {
+  return std::accumulate(measurer_caps_.begin(), measurer_caps_.end(), 0.0);
+}
+
+CampaignResult CampaignRunner::run(
+    std::span<const CampaignRelay> relays) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const core::Params& params = config_.params;
+
+  // Scheduling priors: explicit z0, or the oracle prior.
+  std::vector<double> priors;
+  priors.reserve(relays.size());
+  for (const auto& r : relays) {
+    const double prior = r.prior_estimate_bits > 0.0
+                             ? r.prior_estimate_bits
+                             : r.model.ground_truth(params.sockets);
+    if (prior <= 0.0)
+      throw std::invalid_argument("CampaignRunner: relay with no capacity");
+    priors.push_back(prior);
+  }
+
+  // Period layout: relay -> slot.
+  CampaignResult result;
+  result.relays.assign(relays.size(), RelayEstimate{});
+  const double team_capacity = team_capacity_bits();
+  std::vector<int> relay_slot;
+  if (config_.schedule == ScheduleMode::kGreedyPack) {
+    auto packing = core::greedy_pack(priors, team_capacity, params);
+    relay_slot = std::move(packing.relay_slot);
+    result.summary.slots_in_period = packing.slots_used;
+  } else {
+    core::PeriodSchedule schedule(
+        params, team_capacity,
+        config_.seed ^ sim::hash_tag("campaign/schedule"));
+    relay_slot = schedule.schedule_old_relays(priors);
+    result.summary.slots_in_period = schedule.slots_in_period();
+  }
+
+  // Group relays by slot; only occupied slots become work items.
+  int last_slot = -1;
+  for (const int s : relay_slot) last_slot = std::max(last_slot, s);
+  std::vector<std::vector<std::size_t>> slot_relays(
+      static_cast<std::size_t>(last_slot + 1));
+  for (std::size_t r = 0; r < relay_slot.size(); ++r)
+    slot_relays[static_cast<std::size_t>(relay_slot[r])].push_back(r);
+  std::vector<std::size_t> occupied;
+  for (std::size_t s = 0; s < slot_relays.size(); ++s)
+    if (!slot_relays[s].empty()) occupied.push_back(s);
+
+  // Execute the occupied slots on the pool. Each slot task derives its RNG
+  // from the period seed and the slot index alone and writes only its own
+  // relays' entries, so the outcome is independent of the thread count and
+  // of the order in which workers claim slots.
+  // The slot domain tag keeps slot 0 (seed ^ 0 == seed) from replaying the
+  // exact stream the measurer mesh and the period schedule consumed.
+  const std::uint64_t slot_domain =
+      config_.seed ^ sim::hash_tag("campaign/slot");
+  ThreadPool pool(config_.threads);
+  pool.parallel_for(occupied.size(), [&](std::size_t w) {
+    const std::size_t slot = occupied[w];
+    const std::uint64_t sub_seed =
+        slot_domain ^ static_cast<std::uint64_t>(slot);
+    core::SlotRunner runner(topo_, params, sim::Rng(sub_seed));
+
+    // §4.2 allocation: each relay in the slot claims f * z0 from the
+    // measurers' remaining capacity, largest-residual first.
+    std::vector<double> residual = measurer_caps_;
+    std::vector<core::SlotRunner::ConcurrentTarget> targets;
+    std::vector<int> target_sockets;
+    targets.reserve(slot_relays[slot].size());
+    for (const std::size_t r : slot_relays[slot]) {
+      const auto alloc = core::allocate_greedy(
+          residual, params.excess_factor() * priors[r]);
+      for (std::size_t i = 0; i < residual.size(); ++i)
+        residual[i] -= alloc[i];
+      const auto shares =
+          core::make_shares(alloc, measurer_cores_, params);
+      core::SlotRunner::ConcurrentTarget target;
+      target.relay = relays[r].model;
+      target.host = relays[r].host;
+      target.behavior = relays[r].behavior;
+      int sockets = 0;
+      for (const auto& share : shares) {
+        if (share.allocated_bits <= 0.0) continue;
+        target.team.push_back(
+            {config_.measurer_hosts[share.measurer_index],
+             share.allocated_bits, share.sockets});
+        sockets += share.sockets;
+      }
+      targets.push_back(std::move(target));
+      target_sockets.push_back(sockets);
+    }
+
+    const auto outcomes = runner.run_concurrent(targets);
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+      const std::size_t r = slot_relays[slot][t];
+      RelayEstimate& est = result.relays[r];
+      est.slot = static_cast<int>(slot);
+      est.estimate_bits = outcomes[t].estimate_bits;
+      est.verification_failed = outcomes[t].verification_failed;
+      est.ground_truth_bits = relays[r].model.ground_truth(target_sockets[t]);
+      if (est.ground_truth_bits > 0.0 && !est.verification_failed)
+        est.relative_error =
+            est.estimate_bits / est.ground_truth_bits - 1.0;
+    }
+  });
+
+  // Aggregate the period summary.
+  CampaignSummary& summary = result.summary;
+  summary.relays_measured = static_cast<int>(relays.size());
+  summary.slots_executed = static_cast<int>(occupied.size());
+  summary.simulated_seconds =
+      static_cast<double>(last_slot + 1) * params.slot_seconds;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(relays.size());
+  for (const RelayEstimate& est : result.relays) {
+    if (est.verification_failed) {
+      ++summary.verification_failures;
+      continue;
+    }
+    summary.total_true_bits += est.ground_truth_bits;
+    summary.total_estimated_bits += est.estimate_bits;
+    abs_errors.push_back(std::fabs(est.relative_error));
+  }
+  if (!abs_errors.empty()) {
+    summary.mean_abs_relative_error = metrics::mean(
+        metrics::as_span(abs_errors));
+    summary.median_abs_relative_error =
+        metrics::median(metrics::as_span(abs_errors));
+    summary.max_abs_relative_error =
+        *std::max_element(abs_errors.begin(), abs_errors.end());
+  }
+  summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace flashflow::campaign

@@ -1,0 +1,118 @@
+// Full-network measurement campaigns (§4.3, §7).
+//
+// A campaign measures an entire relay population over one period: the
+// scheduler lays the relays out into 30-second slots (either the §7
+// greedy largest-fit packing that minimizes total measurement time, or the
+// §4.3 secret randomized period schedule), then every slot runs the §4.1
+// slot pipeline against its relays with a team allocation computed by the
+// §4.2 greedy allocator.
+//
+// Slots are independent, so the engine executes them on a fixed-size
+// thread pool. Each slot forks its own RNG from the period seed
+// (sub-seed = period_seed XOR slot index) and writes only its own relays'
+// results, which makes a campaign's output bit-identical regardless of the
+// thread count — the property every scale experiment on top of this
+// subsystem relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/measurement.h"
+#include "core/params.h"
+#include "net/topology.h"
+#include "tor/relay.h"
+
+namespace flashflow::campaign {
+
+/// One relay in the measured population.
+struct CampaignRelay {
+  tor::RelayModel model;
+  net::HostId host = 0;
+  /// Prior capacity guess z0 for scheduling/allocation (§4.2). <= 0 means
+  /// "oracle prior": use the relay's Tor ground truth at the configured
+  /// socket count.
+  double prior_estimate_bits = 0.0;
+  core::TargetBehavior behavior = core::TargetBehavior::kHonest;
+};
+
+enum class ScheduleMode {
+  /// §7 largest-fit packing: minimum slots, measured back to back.
+  kGreedyPack,
+  /// §4.3 randomized secret schedule across the whole period.
+  kRandomized,
+};
+
+struct CampaignConfig {
+  core::Params params;
+  /// Measurer team (hosts must exist in the topology).
+  std::vector<net::HostId> measurer_hosts;
+  /// Per-measurer capacity overrides aligned with `measurer_hosts` (lab
+  /// configs with known limits). Empty: run the §4.2 iPerf mesh.
+  std::vector<double> measurer_capacity_bits;
+  ScheduleMode schedule = ScheduleMode::kGreedyPack;
+  /// Worker threads for slot execution; <= 0 selects hardware concurrency.
+  int threads = 1;
+  /// Period seed; every slot derives its sub-seed from this.
+  std::uint64_t seed = 1;
+};
+
+/// Per-relay campaign outcome, aligned with the input population.
+struct RelayEstimate {
+  int slot = -1;
+  double estimate_bits = 0.0;
+  double ground_truth_bits = 0.0;
+  /// estimate / ground truth - 1; 0 when the ground truth is 0 or the
+  /// relay failed verification.
+  double relative_error = 0.0;
+  bool verification_failed = false;
+};
+
+struct CampaignSummary {
+  int relays_measured = 0;
+  int verification_failures = 0;
+  /// Slots laid out by the scheduler (kRandomized counts the whole period).
+  int slots_in_period = 0;
+  /// Non-empty slots actually executed.
+  int slots_executed = 0;
+  /// Simulated measurement time: last occupied slot's end, seconds.
+  double simulated_seconds = 0.0;
+  /// Real execution time of the campaign engine, seconds.
+  double wall_seconds = 0.0;
+  /// Error aggregates over relays that passed verification, |z/x - 1|.
+  double mean_abs_relative_error = 0.0;
+  double median_abs_relative_error = 0.0;
+  double max_abs_relative_error = 0.0;
+  double total_true_bits = 0.0;
+  double total_estimated_bits = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<RelayEstimate> relays;
+  CampaignSummary summary;
+};
+
+class CampaignRunner {
+ public:
+  /// Resolves the team's capacities up front (override or iPerf mesh), so
+  /// repeated runs reuse the same measurer estimates.
+  CampaignRunner(const net::Topology& topo, CampaignConfig config);
+
+  /// Measures the whole population once. Deterministic in (population,
+  /// config, seed); independent of `threads`.
+  CampaignResult run(std::span<const CampaignRelay> relays) const;
+
+  const std::vector<double>& measurer_capacities() const {
+    return measurer_caps_;
+  }
+  double team_capacity_bits() const;
+
+ private:
+  const net::Topology& topo_;
+  CampaignConfig config_;
+  std::vector<double> measurer_caps_;
+  std::vector<int> measurer_cores_;
+};
+
+}  // namespace flashflow::campaign

@@ -1,0 +1,132 @@
+// Fixed-size worker pool for the campaign engine.
+//
+// Campaign slots are embarrassingly parallel: every slot carries its own
+// RNG (forked deterministically from the period seed) and writes to a
+// disjoint range of the result vector, so the pool needs no result
+// plumbing — only bounded workers and completion. parallel_for() hands out
+// indices through a shared atomic counter, which keeps the work/thread
+// assignment irrelevant to the output: determinism comes from the per-index
+// seeding, not from the scheduling order.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flashflow::campaign {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int threads = 0) {
+    if (threads <= 0)
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks must not throw; wrap exception capture into
+  /// the task itself (parallel_for does this for its callers).
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  /// Runs fn(i) for every i in [0, n). Blocks until all indices complete.
+  /// Work is claimed index-by-index through an atomic counter, so results
+  /// must not depend on which worker runs which index. If any invocation
+  /// throws, the first captured exception is rethrown here after the loop
+  /// drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto failed = std::make_shared<std::atomic<bool>>(false);
+    auto first_error = std::make_shared<std::once_flag>();
+    auto error = std::make_shared<std::exception_ptr>();
+    const std::size_t lanes =
+        std::min(n, static_cast<std::size_t>(size()));
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([n, next, failed, first_error, error, &fn] {
+        // Stop claiming new indices once any invocation has thrown;
+        // in-flight indices still finish.
+        for (std::size_t i = (*next)++; i < n && !failed->load();
+             i = (*next)++) {
+          try {
+            fn(i);
+          } catch (...) {
+            std::call_once(*first_error,
+                           [&] { *error = std::current_exception(); });
+            failed->store(true);
+          }
+        }
+      });
+    }
+    wait_idle();
+    if (*error) std::rethrow_exception(*error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+      }
+      idle_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace flashflow::campaign

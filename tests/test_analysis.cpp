@@ -25,8 +25,9 @@ TEST(Population, CapacitiesWithinBounds) {
     EXPECT_GE(r.capacity_bits, small_params().min_capacity_bits);
     EXPECT_LE(r.capacity_bits, small_params().max_capacity_bits);
     EXPECT_LT(r.join_hour, r.leave_hour);
-    if (r.rate_limit_bits > 0)
+    if (r.rate_limit_bits > 0) {
       EXPECT_LE(r.rate_limit_bits, r.capacity_bits);
+    }
   }
 }
 

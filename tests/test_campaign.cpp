@@ -1,0 +1,158 @@
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "campaign/thread_pool.h"
+#include "net/units.h"
+#include "tor/cpu_model.h"
+
+namespace flashflow::campaign {
+namespace {
+
+// A US-SW-hosted relay with the given operator rate limit, as in the
+// paper's Internet experiments.
+CampaignRelay make_relay(const net::Topology& topo, double limit_mbit) {
+  CampaignRelay r;
+  r.model.name = "relay-" + std::to_string(static_cast<int>(limit_mbit));
+  r.model.nic_up_bits = r.model.nic_down_bits = net::mbit(954);
+  r.model.rate_limit_bits = net::mbit(limit_mbit);
+  r.model.cpu = tor::CpuModel::us_sw();
+  r.host = topo.find("US-SW");
+  return r;
+}
+
+CampaignConfig lab_config(const net::Topology& topo) {
+  CampaignConfig config;
+  config.measurer_hosts = {topo.find("US-E"), topo.find("NL")};
+  config.measurer_capacity_bits = {net::mbit(900), net::mbit(900)};
+  config.seed = 20210613;
+  return config;
+}
+
+std::vector<CampaignRelay> small_population(const net::Topology& topo) {
+  std::vector<CampaignRelay> relays;
+  for (const double limit : {10, 25, 50, 75, 100, 150, 200, 250, 40, 120})
+    relays.push_back(make_relay(topo, limit));
+  return relays;
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i % 7 == 3)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Campaign, EndToEndOverTable1Hosts) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+  const CampaignRunner runner(topo, lab_config(topo));
+  const auto result = runner.run(relays);
+
+  ASSERT_EQ(result.relays.size(), relays.size());
+  EXPECT_EQ(result.summary.relays_measured,
+            static_cast<int>(relays.size()));
+  EXPECT_EQ(result.summary.verification_failures, 0);
+  EXPECT_GE(result.summary.slots_in_period, 2);
+  EXPECT_GT(result.summary.slots_executed, 0);
+  EXPECT_DOUBLE_EQ(result.summary.simulated_seconds,
+                   result.summary.slots_in_period * 30.0);
+  EXPECT_GT(result.summary.total_estimated_bits, 0.0);
+  for (const auto& est : result.relays) {
+    EXPECT_GE(est.slot, 0);
+    EXPECT_LT(est.slot, result.summary.slots_in_period);
+    EXPECT_GT(est.estimate_bits, 0.0);
+    EXPECT_FALSE(est.verification_failed);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  auto config1 = lab_config(topo);
+  config1.threads = 1;
+  auto config8 = lab_config(topo);
+  config8.threads = 8;
+
+  const auto serial = CampaignRunner(topo, config1).run(relays);
+  const auto parallel = CampaignRunner(topo, config8).run(relays);
+
+  ASSERT_EQ(serial.relays.size(), parallel.relays.size());
+  for (std::size_t i = 0; i < serial.relays.size(); ++i) {
+    // Bit-identical, not merely close: per-slot sub-seeding must make the
+    // schedule of workers irrelevant.
+    EXPECT_EQ(serial.relays[i].estimate_bits,
+              parallel.relays[i].estimate_bits);
+    EXPECT_EQ(serial.relays[i].slot, parallel.relays[i].slot);
+    EXPECT_EQ(serial.relays[i].ground_truth_bits,
+              parallel.relays[i].ground_truth_bits);
+  }
+  EXPECT_EQ(serial.summary.mean_abs_relative_error,
+            parallel.summary.mean_abs_relative_error);
+  EXPECT_EQ(serial.summary.slots_executed, parallel.summary.slots_executed);
+}
+
+TEST(Campaign, EstimatesTrackKnownCapacities) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+  const CampaignRunner runner(topo, lab_config(topo));
+  const auto result = runner.run(relays);
+
+  // Appendix E.5 error model: accepted estimates land in
+  // ((1-eps1)x, (1+eps2)x) = (0.80x, 1.05x); allow the simulator's noise
+  // processes a little extra slack on individual relays.
+  for (std::size_t i = 0; i < result.relays.size(); ++i) {
+    const auto& est = result.relays[i];
+    ASSERT_GT(est.ground_truth_bits, 0.0);
+    const double ratio = est.estimate_bits / est.ground_truth_bits;
+    EXPECT_GT(ratio, 0.70) << relays[i].model.name;
+    EXPECT_LT(ratio, 1.15) << relays[i].model.name;
+  }
+  EXPECT_LT(result.summary.mean_abs_relative_error, 0.15);
+  EXPECT_NEAR(result.summary.total_estimated_bits,
+              result.summary.total_true_bits,
+              0.15 * result.summary.total_true_bits);
+}
+
+TEST(Campaign, RandomizedScheduleSpreadsAcrossPeriod) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+  auto config = lab_config(topo);
+  config.schedule = ScheduleMode::kRandomized;
+  const auto result = CampaignRunner(topo, config).run(relays);
+
+  // A day of 30-second slots.
+  EXPECT_EQ(result.summary.slots_in_period, 2880);
+  for (const auto& est : result.relays) {
+    EXPECT_GE(est.slot, 0);
+    EXPECT_LT(est.slot, 2880);
+    EXPECT_GT(est.estimate_bits, 0.0);
+  }
+}
+
+TEST(Campaign, RejectsBadConfig) {
+  const auto topo = net::make_table1_hosts();
+  CampaignConfig no_measurers;
+  EXPECT_THROW(CampaignRunner(topo, no_measurers), std::invalid_argument);
+
+  auto misaligned = lab_config(topo);
+  misaligned.measurer_capacity_bits = {net::mbit(900)};
+  EXPECT_THROW(CampaignRunner(topo, misaligned), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashflow::campaign

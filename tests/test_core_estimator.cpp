@@ -68,7 +68,9 @@ TEST_P(AcceptMonotone, MonotoneInAllocation) {
   for (double total = 100; total <= 4000; total += 100) {
     const std::vector<double> alloc = {net::mbit(total)};
     const bool now = evaluate_estimate(z, alloc, p).accepted;
-    if (was_accepted) EXPECT_TRUE(now);
+    if (was_accepted) {
+      EXPECT_TRUE(now);
+    }
     was_accepted = now;
   }
 }

@@ -7,7 +7,9 @@
 
 #include <numeric>
 
+#include "core/verification.h"
 #include "net/units.h"
+#include "tor/cell.h"
 #include "tor/cpu_model.h"
 
 namespace flashflow::core {
@@ -190,6 +192,99 @@ TEST(SlotRunner, SocketCountLimitsOfferedRate) {
   MeasurerSlot many{topo.find("IN"), net::gbit(1), 160};
   EXPECT_LT(runner.offered_rate(few, topo.find("US-SW")),
             runner.offered_rate(many, topo.find("US-SW")) * 0.2);
+}
+
+TEST(ClampBackgroundProperty, NeverExceedsRatioBound) {
+  // For any reported y, the clamp admits at most x*r/(1-r) and never more
+  // than the report itself.
+  sim::Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double x = rng.uniform(0.0, net::gbit(2));
+    const double y = rng.uniform(0.0, net::gbit(4));
+    const double r = rng.uniform(0.0, 0.95);
+    const double clamped = clamp_background(y, x, r);
+    EXPECT_LE(clamped, x * r / (1.0 - r) + 1e-6);
+    EXPECT_LE(clamped, y);
+    EXPECT_GE(clamped, 0.0);
+  }
+}
+
+TEST(ClampBackgroundProperty, MonotoneInBothArguments) {
+  sim::Rng rng(102);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double r = rng.uniform(0.0, 0.95);
+    const double x = rng.uniform(0.0, net::gbit(1));
+    const double y = rng.uniform(0.0, net::gbit(2));
+    const double dx = rng.uniform(0.0, net::mbit(500));
+    const double dy = rng.uniform(0.0, net::mbit(500));
+    // Raising the report can only raise what the clamp admits...
+    EXPECT_LE(clamp_background(y, x, r), clamp_background(y + dy, x, r));
+    // ...and so can raising the measured traffic.
+    EXPECT_LE(clamp_background(y, x, r), clamp_background(y, x + dx, r));
+  }
+}
+
+TEST(SlotRunnerRegression, ForgeDetectionMatchesEvasionFormula) {
+  // §5: a relay forging k cell echoes in a slot evades the sampled spot
+  // check with probability (1-p)^k. Drive many independently seeded slots
+  // against a small relay with p scaled down so detection is a coin flip,
+  // and compare the empirical failure rate with 1-(1-p)^k predicted from
+  // each slot's actual traffic volume.
+  const auto topo = table1();
+  Params params;
+  params.check_probability = 3e-6;
+  const auto relay = us_sw_relay(10);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(10), 160};
+
+  const int kRuns = 300;
+  int failures = 0;
+  double predicted_sum = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    SlotRunner runner(topo, params, sim::Rng(9000 + run));
+    const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1},
+                                TargetBehavior::kForgeEchoes);
+    failures += out.verification_failed ? 1 : 0;
+    const double total_bits =
+        std::accumulate(out.x_bits.begin(), out.x_bits.end(), 0.0);
+    const auto forged_cells = static_cast<std::uint64_t>(
+        net::bytes_from_bits(total_bits) / tor::kCellSize);
+    predicted_sum +=
+        1.0 - evasion_probability(params.check_probability, forged_cells);
+  }
+  const double empirical = static_cast<double>(failures) / kRuns;
+  const double predicted = predicted_sum / kRuns;
+  // The prediction should sit in coin-flip territory, and the empirical
+  // rate within ~4 binomial standard deviations of it.
+  EXPECT_GT(predicted, 0.05);
+  EXPECT_LT(predicted, 0.95);
+  const double sigma =
+      std::sqrt(predicted * (1.0 - predicted) / kRuns);
+  EXPECT_NEAR(empirical, predicted, 4.0 * sigma + 0.01);
+}
+
+TEST(SlotRunnerRegression, LiarNeverTripsVerification) {
+  // Lying about background is neutralized by the clamp, not the spot
+  // check: across seeds the liar must never fail verification, and its
+  // inflated estimate stays within the 1/(1-r) bound of the honest run.
+  const auto topo = table1();
+  Params params;
+  const auto relay = us_sw_relay(100, /*background=*/80);
+  const MeasurerSlot m{topo.find("NL"),
+                       params.excess_factor() * net::mbit(100), 160};
+  for (int run = 0; run < 25; ++run) {
+    SlotRunner honest_runner(topo, params, sim::Rng(500 + run));
+    const auto honest =
+        honest_runner.run(relay, topo.find("US-SW"), {&m, 1});
+    SlotRunner lying_runner(topo, params, sim::Rng(500 + run));
+    const auto lying =
+        lying_runner.run(relay, topo.find("US-SW"), {&m, 1},
+                         TargetBehavior::kLieAboutBackground);
+    EXPECT_FALSE(lying.verification_failed);
+    EXPECT_GT(lying.estimate_bits, 0.0);
+    EXPECT_LE(lying.estimate_bits / honest.estimate_bits,
+              params.max_inflation() + 0.02);
+  }
 }
 
 }  // namespace

@@ -139,5 +139,55 @@ TEST(PeriodSchedule, RejectsZeroCapacityTeam) {
   EXPECT_THROW(PeriodSchedule(p, 0.0, 1), std::invalid_argument);
 }
 
+TEST(GreedyPackProperty, RandomPopulationsPlaceEveryRelayWithinCapacity) {
+  // Property sweep over random team sizes and heavy-ish populations:
+  // every relay lands in exactly one valid slot, no slot's requirement sum
+  // exceeds the team capacity, and the reported totals are consistent.
+  Params p;
+  sim::Rng rng(606);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double team = rng.uniform(net::gbit(1), net::gbit(5));
+    const double max_cap = team / p.excess_factor();
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 150));
+    std::vector<double> caps;
+    caps.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      caps.push_back(rng.uniform(net::kbit(100), max_cap));
+
+    const auto r = greedy_pack(caps, team, p);
+    ASSERT_EQ(r.relay_slot.size(), n);
+    ASSERT_GE(r.slots_used, 1);
+    std::vector<double> load(static_cast<std::size_t>(r.slots_used), 0.0);
+    double requirement = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_GE(r.relay_slot[i], 0);          // placed...
+      ASSERT_LT(r.relay_slot[i], r.slots_used);  // ...in a real slot
+      load[static_cast<std::size_t>(r.relay_slot[i])] +=
+          p.excess_factor() * caps[i];
+      requirement += p.excess_factor() * caps[i];
+    }
+    for (const double l : load) EXPECT_LE(l, team + 1.0);
+    EXPECT_NEAR(r.total_requirement_bits, requirement,
+                1e-6 * requirement + 1.0);
+    // No trailing empty slot: the last slot must hold someone.
+    EXPECT_GT(load.back(), 0.0);
+  }
+}
+
+TEST(GreedyPackProperty, ThrowsWheneverAnyRelayExceedsTeam) {
+  Params p;
+  sim::Rng rng(607);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double team = rng.uniform(net::gbit(1), net::gbit(5));
+    std::vector<double> caps;
+    for (int i = 0; i < 10; ++i)
+      caps.push_back(rng.uniform(net::mbit(1), team / p.excess_factor()));
+    // One relay strictly over the single-slot budget poisons the packing.
+    caps.push_back(team / p.excess_factor() * rng.uniform(1.01, 3.0));
+    rng.shuffle(caps);
+    EXPECT_THROW(greedy_pack(caps, team, p), std::runtime_error);
+  }
+}
+
 }  // namespace
 }  // namespace flashflow::core

@@ -2,17 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "net/units.h"
 
 namespace flashflow::net {
 namespace {
 
+Host make_host(std::string name, double up_bits = 0.0,
+               double down_bits = 0.0) {
+  Host h;
+  h.name = std::move(name);
+  h.nic_up_bits = up_bits;
+  h.nic_down_bits = down_bits;
+  return h;
+}
+
 TEST(Topology, AddHostAndLookup) {
   Topology t;
-  const HostId a = t.add_host({.name = "a", .nic_up_bits = mbit(100),
-                               .nic_down_bits = mbit(100)});
-  const HostId b = t.add_host({.name = "b", .nic_up_bits = mbit(200),
-                               .nic_down_bits = mbit(200)});
+  const HostId a = t.add_host(make_host("a", mbit(100), mbit(100)));
+  const HostId b = t.add_host(make_host("b", mbit(200), mbit(200)));
   EXPECT_EQ(t.host_count(), 2u);
   EXPECT_EQ(t.find("a"), a);
   EXPECT_EQ(t.find("b"), b);
@@ -22,8 +32,8 @@ TEST(Topology, AddHostAndLookup) {
 
 TEST(Topology, PathIsSymmetric) {
   Topology t;
-  const HostId a = t.add_host({.name = "a"});
-  const HostId b = t.add_host({.name = "b"});
+  const HostId a = t.add_host(make_host("a"));
+  const HostId b = t.add_host(make_host("b"));
   t.set_path(a, b, 0.05, 1e-5, 2e-4);
   EXPECT_DOUBLE_EQ(t.rtt(a, b), 0.05);
   EXPECT_DOUBLE_EQ(t.rtt(b, a), 0.05);
@@ -33,26 +43,26 @@ TEST(Topology, PathIsSymmetric) {
 
 TEST(Topology, LoadedLossDefaultsToCleanLoss) {
   Topology t;
-  const HostId a = t.add_host({.name = "a"});
-  const HostId b = t.add_host({.name = "b"});
+  const HostId a = t.add_host(make_host("a"));
+  const HostId b = t.add_host(make_host("b"));
   t.set_path(a, b, 0.05, 3e-5);
   EXPECT_DOUBLE_EQ(t.loaded_loss(a, b), 3e-5);
 }
 
 TEST(Topology, GrowingPreservesPaths) {
   Topology t;
-  const HostId a = t.add_host({.name = "a"});
-  const HostId b = t.add_host({.name = "b"});
+  const HostId a = t.add_host(make_host("a"));
+  const HostId b = t.add_host(make_host("b"));
   t.set_path(a, b, 0.1, 0.0);
-  const HostId c = t.add_host({.name = "c"});
+  const HostId c = t.add_host(make_host("c"));
   EXPECT_DOUBLE_EQ(t.rtt(a, b), 0.1);  // survived the matrix growth
   EXPECT_DOUBLE_EQ(t.rtt(a, c), 0.0);  // unset defaults to zero
 }
 
 TEST(Topology, RejectsBadPathParams) {
   Topology t;
-  const HostId a = t.add_host({.name = "a"});
-  const HostId b = t.add_host({.name = "b"});
+  const HostId a = t.add_host(make_host("a"));
+  const HostId b = t.add_host(make_host("b"));
   EXPECT_THROW(t.set_path(a, b, -1.0, 0.0), std::invalid_argument);
   EXPECT_THROW(t.set_path(a, b, 1.0, 1.0), std::invalid_argument);
 }

@@ -13,7 +13,8 @@ std::vector<PeerFlowRelay> make_network(int n, int trusted, int malicious,
   std::vector<PeerFlowRelay> relays;
   for (int i = 0; i < n; ++i) {
     PeerFlowRelay r;
-    r.fingerprint = "r" + std::to_string(i);
+    r.fingerprint = "r";
+    r.fingerprint += std::to_string(i);
     r.true_capacity_bits = rng.uniform(net::mbit(20), net::mbit(200));
     r.utilization = rng.uniform(0.3, 0.7);
     r.trusted = i < trusted;
@@ -31,7 +32,9 @@ TEST(PeerFlow, HonestTrafficSymmetricAndPositive) {
   for (std::size_t i = 0; i < traffic.n; ++i) {
     EXPECT_DOUBLE_EQ(traffic.at(i, i), 0.0);
     for (std::size_t j = 0; j < traffic.n; ++j)
-      if (i != j) EXPECT_GT(traffic.at(i, j), 0.0);
+      if (i != j) {
+        EXPECT_GT(traffic.at(i, j), 0.0);
+      }
   }
 }
 

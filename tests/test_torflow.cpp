@@ -14,7 +14,8 @@ std::vector<TorFlowRelay> make_network(int n, std::uint64_t seed) {
   std::vector<TorFlowRelay> relays;
   for (int i = 0; i < n; ++i) {
     TorFlowRelay r;
-    r.fingerprint = "r" + std::to_string(i);
+    r.fingerprint = "r";
+    r.fingerprint += std::to_string(i);
     r.true_capacity_bits = rng.uniform(net::mbit(5), net::mbit(500));
     r.advertised_bits = r.true_capacity_bits * rng.uniform(0.4, 0.9);
     r.utilization = rng.uniform(0.2, 0.8);
