@@ -5,36 +5,49 @@
 // the slot, measurement + background sum to the relay's total, a one-second
 // token-bucket burst spikes at the start, and throughput returns to the
 // pre-measurement level immediately afterwards.
+//
+// The setup is a declarative scenario; the per-second timeline comes from
+// streaming the slot through a sink with record_outcomes on.
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/measurement.h"
+#include "campaign/sink.h"
 #include "net/units.h"
-#include "tor/cpu_model.h"
+#include "scenario/scenario.h"
 
 using namespace flashflow;
 
-int main() {
+int main(int argc, char** argv) {
+  // One relay, one slot: the worker pool has nothing to parallelize, so
+  // no --threads flag.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/20210607,
+                                    /*default_threads=*/1,
+                                    /*accepts_threads=*/false);
   bench::header("Figure 7 - measurement with client background traffic",
                 "background clamps to ~25 Mbit/s under r=0.1; initial "
                 "burst spike; sum equals relay total; instant recovery");
 
-  const auto topo = net::make_table1_hosts();
   core::Params params;
   params.ratio = 0.1;
+  const scenario::Scenario scenario(
+      scenario::ScenarioBuilder("fig7")
+          .table1_relays({250}, /*background_mbit=*/50, /*prior_mbit=*/250)
+          .measurers({"NL"})
+          .measurer_capacities({net::mbit(1611)})
+          .params(params)
+          .record_outcomes()
+          .seed(cli.seed)
+          .build());
 
-  tor::RelayModel relay;
-  relay.name = "guard-relay";
-  relay.nic_up_bits = relay.nic_down_bits = net::mbit(954);
-  relay.rate_limit_bits = net::mbit(250);
-  relay.cpu = tor::CpuModel::us_sw();
-  relay.background_demand_bits = net::mbit(50);
-  relay.ratio_r = 0.1;
-
-  const core::MeasurerSlot m{topo.find("NL"),
-                             params.excess_factor() * net::mbit(250), 160};
-  core::SlotRunner runner(topo, params, sim::Rng(20210607));
-  const auto out = runner.run(relay, topo.find("US-SW"), {&m, 1});
+  // Capture the relay's full slot outcome from the stream.
+  struct TimelineSink : campaign::SlotSink {
+    core::SlotOutcome outcome;
+    void slot_done(const campaign::SlotResult& slot) override {
+      outcome = slot.outcomes.front();
+    }
+  } sink;
+  scenario.run(sink);
+  const core::SlotOutcome& out = sink.outcome;
 
   std::cout << "Timeline (before: relay forwards ~50 Mbit/s of client "
                "traffic alone):\n\n";

@@ -5,69 +5,75 @@
 // (median 6,419 relays, 608 Gbit/s) in ~599 30-second slots = ~5 hours;
 // new relays (median 3/consensus, prior 51 Mbit/s) are measured within
 // 30 s median (max 13 minutes for a 98-relay burst).
+//
+// The whole-network layout is a declarative scenario over the §3
+// synthetic population; Scenario::plan() computes the packing without
+// materializing a topology (6,419 relays would need a ~1 GB path matrix).
+#include <algorithm>
 #include <iostream>
 
-#include "analysis/population.h"
 #include "bench_util.h"
 #include "core/schedule.h"
 #include "net/units.h"
+#include "scenario/scenario.h"
 
 using namespace flashflow;
 
-int main() {
+int main(int argc, char** argv) {
+  // Schedule-only analysis (Scenario::plan()); no worker pool, so no
+  // --threads flag.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/20210613,
+                                    /*default_threads=*/1,
+                                    /*accepts_threads=*/false);
   bench::header("§7 - network measurement efficiency",
                 "whole network in ~5 h (599 slots) with 3x1 Gbit/s; new "
                 "relays within ~30 s median");
 
   // July-2019-like capacity sample: 6,419 relays, largest 998 Mbit/s,
-  // total ~608 Gbit/s.
-  sim::Rng rng(20210613);
+  // total ~608 Gbit/s, measured by three 1 Gbit/s measurers.
   analysis::PopulationParams pop;
   pop.lognormal_mu = 17.42;  // calibrates the total toward ~608 Gbit/s
   pop.lognormal_sigma = 1.45;
   pop.max_capacity_bits = 998e6;
-  std::vector<double> capacities;
-  double total = 0;
-  for (int i = 0; i < 6419; ++i) {
-    capacities.push_back(analysis::sample_capacity(pop, rng));
-    total += capacities.back();
-  }
-
-  core::Params params;
-  const double team_capacity = net::gbit(3);
-  const auto packing =
-      core::greedy_pack(capacities, team_capacity, params);
-  const double hours =
-      packing.slots_used * params.slot_seconds / 3600.0;
+  const auto spec =
+      scenario::ScenarioBuilder("sec7")
+          .synthetic(pop, 6419)
+          .measurer_capacities({net::gbit(1), net::gbit(1), net::gbit(1)})
+          .seed(cli.seed)
+          .build();
+  const scenario::Scenario scenario(spec);
+  const auto plan = scenario.plan();
+  const double hours = plan.simulated_seconds / 3600.0;
 
   metrics::Table table({"quantity", "ours", "paper"});
-  table.add_row({"relays", std::to_string(capacities.size()),
+  table.add_row({"relays", std::to_string(plan.relays),
                  "6,419 (median day)"});
   table.add_row({"total capacity (Gbit/s)",
-                 metrics::Table::num(net::to_gbit(total), 0), "608"});
+                 metrics::Table::num(net::to_gbit(plan.total_prior_bits), 0),
+                 "608"});
   table.add_row({"excess factor f",
-                 metrics::Table::num(params.excess_factor(), 2),
+                 metrics::Table::num(spec.params.excess_factor(), 2),
                  "2.84-2.95"});
-  table.add_row({"slots needed", std::to_string(packing.slots_used),
-                 "599"});
+  table.add_row({"slots needed", std::to_string(plan.slots_used), "599"});
   table.add_row({"hours", metrics::Table::num(hours, 1), "~5"});
   table.print(std::cout);
 
-  // New relays: FCFS into the randomized schedule's leftover capacity.
-  core::PeriodSchedule schedule(params, team_capacity, 99);
-  schedule.schedule_old_relays(capacities);
+  // New relays: FCFS into the randomized schedule's leftover capacity,
+  // on top of the same priors the plan above packed.
+  const auto capacities = scenario.prior_capacities();
   std::vector<double> delays_s;
   for (int burst : {1, 3, 10, 98}) {
-    core::PeriodSchedule fresh(params, team_capacity, 100 + burst);
+    core::PeriodSchedule fresh(spec.params, plan.team_capacity_bits,
+                               cli.seed + 100 + burst);
     fresh.schedule_old_relays(capacities);
     int worst_slot = 0;
     for (int i = 0; i < burst; ++i)
       worst_slot =
           std::max(worst_slot, fresh.schedule_new_relay(net::mbit(51)));
-    delays_s.push_back(worst_slot * params.slot_seconds);
+    delays_s.push_back(worst_slot * spec.params.slot_seconds);
     std::cout << "  burst of " << burst
               << " new relays: last measured after slot " << worst_slot
-              << " (" << worst_slot * params.slot_seconds << " s)\n";
+              << " (" << worst_slot * spec.params.slot_seconds << " s)\n";
   }
   std::cout << "\nPaper: median time-to-measure for new relays 30 s; max "
                "13 minutes for the largest burst (98 relays).\n";

@@ -6,6 +6,9 @@
 // bench_micro.cpp.
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +17,82 @@
 #include "metrics/table.h"
 
 namespace flashflow::bench {
+
+/// Shared CLI options for the experiment binaries. Every binary has a
+/// deterministic default seed (the figures reproduce out of the box) that
+/// `--seed` overrides for sensitivity runs; `--threads` sizes the campaign
+/// engine's worker pool (0 = hardware concurrency).
+struct CliOptions {
+  std::uint64_t seed = 1;
+  int threads = 1;
+};
+
+/// Parses `--seed=N`/`--seed N` and (when the binary uses the campaign
+/// worker pool — `accepts_threads`) `--threads=N`/`--threads N`;
+/// `--help` prints usage and exits. Unknown or malformed arguments abort
+/// with an error so typos do not silently run the default experiment.
+inline CliOptions parse_cli(int argc, char** argv,
+                            std::uint64_t default_seed,
+                            int default_threads = 1,
+                            bool accepts_threads = true) {
+  CliOptions options;
+  options.seed = default_seed;
+  options.threads = default_threads;
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int& i) -> const char* {
+    const std::string flag = std::string("--") + name;
+    if (arg == flag) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    }
+    if (arg.rfind(flag + "=", 0) == 0)
+      return argv[i] + flag.size() + 1;  // skip past "--name="
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--seed N]"
+                << (accepts_threads ? " [--threads N]" : "")
+                << "\n  --seed     experiment seed (default " << default_seed
+                << ")\n";
+      if (accepts_threads)
+        std::cout << "  --threads  campaign worker threads, 0 = all cores "
+                     "(default "
+                  << default_threads << ")\n";
+      std::exit(0);
+    } else if (const char* v = value_of(arg, "seed", i)) {
+      char* end = nullptr;
+      errno = 0;
+      options.seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || v[0] == '-' || errno == ERANGE) {
+        std::cerr << argv[0] << ": --seed needs a non-negative 64-bit "
+                  << "integer, got '" << v << "'\n";
+        std::exit(2);
+      }
+    } else if (const char* v2 =
+                   accepts_threads ? value_of(arg, "threads", i) : nullptr) {
+      char* end = nullptr;
+      errno = 0;
+      const long threads = std::strtol(v2, &end, 10);
+      if (end == v2 || *end != '\0' || errno == ERANGE || threads < 0 ||
+          threads > 4096) {
+        std::cerr << argv[0] << ": --threads needs an integer in [0, 4096] "
+                  << "(0 = all cores), got '" << v2 << "'\n";
+        std::exit(2);
+      }
+      options.threads = static_cast<int>(threads);
+    } else {
+      std::cerr << argv[0] << ": unknown argument '" << arg
+                << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
 
 inline void header(const std::string& artifact, const std::string& claim) {
   metrics::print_banner(std::cout, artifact);

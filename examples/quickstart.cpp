@@ -1,58 +1,50 @@
-// Quickstart: measure a single Tor relay with FlashFlow.
+// Quickstart: measure a Tor relay with FlashFlow's Scenario API.
 //
-// Sets up the paper's Internet vantage points, estimates measurer capacity
-// with the iPerf mesh, and runs the full BWAuth pipeline (allocation, slot,
-// verification, acceptance) against one 250 Mbit/s relay.
+// A scenario declares *what* to measure — population, measurer team,
+// protocol parameters — and the engine does the wiring: the §4.2 iPerf
+// measurer mesh, greedy capacity allocation, the 30-second §4.1 slot, and
+// verification. Here the paper's Table 1 vantage points measure one
+// 250 Mbit/s relay carrying 50 Mbit/s of client traffic.
 //
-//   ./examples/quickstart
+//   ./examples/example_quickstart
 #include <iostream>
 
-#include "core/bwauth.h"
 #include "net/units.h"
-#include "tor/cpu_model.h"
+#include "scenario/scenario.h"
 
 using namespace flashflow;
 
 int main() {
-  // 1. The network: Table 1 hosts (US-SW hosts the target relay).
-  const auto topo = net::make_table1_hosts();
+  // Declare the experiment: one 250 Mbit/s relay on US-SW with 50 Mbit/s
+  // of background client traffic, measured by the four remaining Table 1
+  // hosts (their capacities estimated by the §4.2 iPerf mesh).
+  const scenario::Scenario scenario(
+      scenario::ScenarioBuilder("quickstart")
+          .table1_relays({250}, /*background_mbit=*/50)
+          .seed(2)
+          .build());
 
-  // 2. The measurement team: everyone except US-SW. Team::measure_measurers
-  //    runs the §4.2 concurrent bidirectional UDP mesh.
-  core::Team team(topo, {topo.find("US-NW"), topo.find("US-E"),
-                         topo.find("IN"), topo.find("NL")});
-  team.measure_measurers(/*seed=*/1);
+  // The measurer team, resolved from the mesh.
+  const auto& mat = scenario.materialized();
   std::cout << "Measurer capacities (from the iPerf mesh):\n";
-  for (const auto& m : team.measurers())
-    std::cout << "  " << topo.host(m.host).name << ": "
-              << net::to_mbit(m.capacity_bits) << " Mbit/s\n";
+  const auto& caps = scenario.runner().measurer_capacities();
+  for (std::size_t i = 0; i < mat.measurer_hosts.size(); ++i)
+    std::cout << "  " << mat.topology.host(mat.measurer_hosts[i]).name
+              << ": " << net::to_mbit(caps[i]) << " Mbit/s\n";
 
-  // 3. The target: a 250 Mbit/s relay carrying 50 Mbit/s of client traffic.
-  core::RelayTarget target;
-  target.model.name = "example-relay";
-  target.model.nic_up_bits = target.model.nic_down_bits = net::mbit(954);
-  target.model.rate_limit_bits = net::mbit(250);
-  target.model.cpu = tor::CpuModel::us_sw();
-  target.model.background_demand_bits = net::mbit(50);
-  target.host = topo.find("US-SW");
-  target.previous_estimate_bits = 0;  // new relay: 75th-percentile prior
+  // Measure. One period: allocation f * z0 across the team, a 30-second
+  // slot, echo verification, estimate = median per-second throughput.
+  const auto result = scenario.run();
+  const auto& est = result.relays.front();
 
-  // 4. Measure. The BWAuth allocates f * z0 across the team, runs 30-second
-  //    slots, verifies echoes, and doubles the guess until acceptance.
-  core::Params params;  // paper defaults: m=2.25, t=30s, s=160, r=0.25
-  core::BWAuth bwauth(topo, params, std::move(team), net::mbit(51),
-                      /*seed=*/2);
-  const auto result = bwauth.measure_relay(target);
-
-  std::cout << "\nMeasured " << target.model.name << " in "
-            << result.rounds << " slot(s):\n"
-            << "  estimate : " << net::to_mbit(result.estimate_bits)
+  std::cout << "\nMeasured " << mat.fingerprints.front() << " in slot "
+            << est.slot << ":\n"
+            << "  estimate     : " << net::to_mbit(est.estimate_bits)
             << " Mbit/s\n"
-            << "  accepted : " << (result.accepted ? "yes" : "no") << "\n"
-            << "  verified : "
-            << (result.verification_failed ? "FAILED" : "ok") << "\n"
-            << "  ground truth ~ "
-            << net::to_mbit(target.model.ground_truth(params.sockets))
-            << " Mbit/s\n";
+            << "  ground truth : " << net::to_mbit(est.ground_truth_bits)
+            << " Mbit/s\n"
+            << "  error        : " << est.relative_error * 100 << "%\n"
+            << "  verified     : "
+            << (est.verification_failed ? "FAILED" : "ok") << "\n";
   return 0;
 }

@@ -78,4 +78,14 @@ std::vector<RelaySpec> generate_population(const PopulationParams& params,
   return relays;
 }
 
+std::vector<double> sample_capacities(const PopulationParams& params,
+                                      int count, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> capacities;
+  capacities.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i)
+    capacities.push_back(sample_capacity(params, rng));
+  return capacities;
+}
+
 }  // namespace flashflow::analysis

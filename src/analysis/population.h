@@ -64,4 +64,11 @@ std::vector<RelaySpec> generate_population(const PopulationParams& params,
 /// Draws one capacity from the mixture (exposed for shadowsim sampling).
 double sample_capacity(const PopulationParams& params, sim::Rng& rng);
 
+/// Draws `count` capacities from the mixture; deterministic in
+/// (params, seed). Convenience for scheduling/scenario experiments that
+/// need a capacity sample without the churn machinery of
+/// generate_population().
+std::vector<double> sample_capacities(const PopulationParams& params,
+                                      int count, std::uint64_t seed);
+
 }  // namespace flashflow::analysis

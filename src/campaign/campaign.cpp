@@ -1,22 +1,26 @@
 #include "campaign/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <cmath>
+#include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "campaign/sink.h"
 #include "campaign/thread_pool.h"
 #include "core/allocation.h"
 #include "core/schedule.h"
 #include "core/team.h"
-#include "metrics/stats.h"
 
 namespace flashflow::campaign {
 
 CampaignRunner::CampaignRunner(const net::Topology& topo,
                                CampaignConfig config)
     : topo_(topo), config_(std::move(config)) {
+  config_.params.validate();
   if (config_.measurer_hosts.empty())
     throw std::invalid_argument("CampaignRunner: no measurers");
   if (!config_.measurer_capacity_bits.empty() &&
@@ -39,8 +43,8 @@ double CampaignRunner::team_capacity_bits() const {
   return std::accumulate(measurer_caps_.begin(), measurer_caps_.end(), 0.0);
 }
 
-CampaignResult CampaignRunner::run(
-    std::span<const CampaignRelay> relays) const {
+RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
+                             SlotSink& sink) const {
   const auto wall_start = std::chrono::steady_clock::now();
   const core::Params& params = config_.params;
 
@@ -57,20 +61,19 @@ CampaignResult CampaignRunner::run(
   }
 
   // Period layout: relay -> slot.
-  CampaignResult result;
-  result.relays.assign(relays.size(), RelayEstimate{});
+  RunStats stats;
   const double team_capacity = team_capacity_bits();
   std::vector<int> relay_slot;
   if (config_.schedule == ScheduleMode::kGreedyPack) {
     auto packing = core::greedy_pack(priors, team_capacity, params);
     relay_slot = std::move(packing.relay_slot);
-    result.summary.slots_in_period = packing.slots_used;
+    stats.slots_in_period = packing.slots_used;
   } else {
     core::PeriodSchedule schedule(
         params, team_capacity,
         config_.seed ^ sim::hash_tag("campaign/schedule"));
     relay_slot = schedule.schedule_old_relays(priors);
-    result.summary.slots_in_period = schedule.slots_in_period();
+    stats.slots_in_period = schedule.slots_in_period();
   }
 
   // Group relays by slot; only occupied slots become work items.
@@ -84,16 +87,37 @@ CampaignResult CampaignRunner::run(
   for (std::size_t s = 0; s < slot_relays.size(); ++s)
     if (!slot_relays[s].empty()) occupied.push_back(s);
 
-  // Execute the occupied slots on the pool. Each slot task derives its RNG
-  // from the period seed and the slot index alone and writes only its own
-  // relays' entries, so the outcome is independent of the thread count and
-  // of the order in which workers claim slots.
+  stats.simulated_seconds =
+      static_cast<double>(last_slot + 1) * params.slot_seconds;
+
+  RunPlan plan;
+  plan.relays = static_cast<int>(relays.size());
+  plan.slots_in_period = stats.slots_in_period;
+  plan.slots_to_execute = static_cast<int>(occupied.size());
+  plan.team_capacity_bits = team_capacity;
+  sink.begin(plan);
+
+  // Delivery buffer: slots complete in any order on the pool, but the sink
+  // sees them in increasing slot order. Workers park finished SlotResults
+  // here; whoever completes the next undelivered slot flushes the
+  // contiguous prefix while holding the delivery mutex, so sink calls are
+  // serialized, ordered, and independent of the thread count.
+  std::mutex delivery_mutex;
+  std::vector<std::optional<SlotResult>> pending(occupied.size());
+  std::size_t next_to_deliver = 0;
+  std::size_t delivered = 0;
+  std::atomic<bool> cancelled{false};
+
+  // Each slot task derives its RNG from the period seed and the slot index
+  // alone and touches only its own relays, so the outcome is independent
+  // of the thread count and of the order in which workers claim slots.
   // The slot domain tag keeps slot 0 (seed ^ 0 == seed) from replaying the
   // exact stream the measurer mesh and the period schedule consumed.
   const std::uint64_t slot_domain =
       config_.seed ^ sim::hash_tag("campaign/slot");
   ThreadPool pool(config_.threads);
   pool.parallel_for(occupied.size(), [&](std::size_t w) {
+    if (cancelled.load()) return;
     const std::size_t slot = occupied[w];
     const std::uint64_t sub_seed =
         slot_domain ^ static_cast<std::uint64_t>(slot);
@@ -128,10 +152,14 @@ CampaignResult CampaignRunner::run(
       target_sockets.push_back(sockets);
     }
 
-    const auto outcomes = runner.run_concurrent(targets);
+    auto outcomes = runner.run_concurrent(targets);
+    SlotResult result;
+    result.slot = static_cast<int>(slot);
+    result.relay_indices = slot_relays[slot];
+    result.estimates.reserve(outcomes.size());
     for (std::size_t t = 0; t < outcomes.size(); ++t) {
       const std::size_t r = slot_relays[slot][t];
-      RelayEstimate& est = result.relays[r];
+      RelayEstimate est;
       est.slot = static_cast<int>(slot);
       est.estimate_bits = outcomes[t].estimate_bits;
       est.verification_failed = outcomes[t].verification_failed;
@@ -139,39 +167,58 @@ CampaignResult CampaignRunner::run(
       if (est.ground_truth_bits > 0.0 && !est.verification_failed)
         est.relative_error =
             est.estimate_bits / est.ground_truth_bits - 1.0;
+      result.estimates.push_back(est);
+    }
+    if (config_.record_outcomes) result.outcomes = std::move(outcomes);
+
+    // Park the result and flush the contiguous prefix of completed slots.
+    std::lock_guard<std::mutex> lock(delivery_mutex);
+    pending[w] = std::move(result);
+    while (next_to_deliver < pending.size() &&
+           pending[next_to_deliver].has_value()) {
+      // Consume the entry before invoking the sink: if the sink throws,
+      // the slot must not be re-delivered by the next worker that enters
+      // this loop. Cancelling alongside keeps every later worker away
+      // from the failed sink; parallel_for rethrows the exception.
+      const SlotResult ready = std::move(*pending[next_to_deliver]);
+      pending[next_to_deliver].reset();
+      ++next_to_deliver;
+      if (cancelled.load()) continue;
+      try {
+        sink.slot_done(ready);
+        ++delivered;
+        if (!sink.on_progress(static_cast<int>(delivered),
+                              static_cast<int>(occupied.size())))
+          cancelled.store(true);
+      } catch (...) {
+        cancelled.store(true);
+        throw;
+      }
     }
   });
 
-  // Aggregate the period summary.
-  CampaignSummary& summary = result.summary;
-  summary.relays_measured = static_cast<int>(relays.size());
-  summary.slots_executed = static_cast<int>(occupied.size());
-  summary.simulated_seconds =
-      static_cast<double>(last_slot + 1) * params.slot_seconds;
-  std::vector<double> abs_errors;
-  abs_errors.reserve(relays.size());
-  for (const RelayEstimate& est : result.relays) {
-    if (est.verification_failed) {
-      ++summary.verification_failures;
-      continue;
-    }
-    summary.total_true_bits += est.ground_truth_bits;
-    summary.total_estimated_bits += est.estimate_bits;
-    abs_errors.push_back(std::fabs(est.relative_error));
+  {
+    // parallel_for has drained; count what was actually delivered. Slots
+    // computed but never handed to the sink (cancellation raced ahead of
+    // them) count as skipped alongside the never-claimed ones.
+    std::lock_guard<std::mutex> lock(delivery_mutex);
+    stats.cancelled = cancelled.load();
+    stats.slots_executed = static_cast<int>(delivered);
+    stats.slots_skipped =
+        static_cast<int>(occupied.size()) - stats.slots_executed;
   }
-  if (!abs_errors.empty()) {
-    summary.mean_abs_relative_error = metrics::mean(
-        metrics::as_span(abs_errors));
-    summary.median_abs_relative_error =
-        metrics::median(metrics::as_span(abs_errors));
-    summary.max_abs_relative_error =
-        *std::max_element(abs_errors.begin(), abs_errors.end());
-  }
-  summary.wall_seconds =
+  stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  return result;
+  return stats;
+}
+
+CampaignResult CampaignRunner::run(
+    std::span<const CampaignRelay> relays) const {
+  AggregatingSink sink;
+  const RunStats stats = run(relays, sink);
+  return std::move(sink).result(stats);
 }
 
 }  // namespace flashflow::campaign

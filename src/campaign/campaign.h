@@ -13,6 +13,13 @@
 // results, which makes a campaign's output bit-identical regardless of the
 // thread count — the property every scale experiment on top of this
 // subsystem relies on.
+//
+// Results stream: run(relays, sink) delivers each slot's estimates to a
+// SlotSink as slots complete. Completed slots are re-ordered so the sink
+// always observes increasing slot indices, which makes the streamed byte
+// stream (CSV, JSONL, …) — not just the aggregate — independent of the
+// thread count. The batch run(relays) overload is a thin wrapper over an
+// in-memory aggregating sink (campaign/sink.h).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,10 @@ struct CampaignConfig {
   int threads = 1;
   /// Period seed; every slot derives its sub-seed from this.
   std::uint64_t seed = 1;
+  /// Attach the full per-second core::SlotOutcome to every streamed
+  /// SlotResult (timeline experiments). Off by default: outcomes hold four
+  /// per-second series per relay, which adds up over a large population.
+  bool record_outcomes = false;
 };
 
 /// Per-relay campaign outcome, aligned with the input population.
@@ -67,9 +78,15 @@ struct RelayEstimate {
   /// relay failed verification.
   double relative_error = 0.0;
   bool verification_failed = false;
+
+  friend bool operator==(const RelayEstimate&, const RelayEstimate&) = default;
 };
 
+/// Deterministic period summary. Wall-clock timing lives in RunStats, not
+/// here, so two runs of the same campaign compare equal as whole structs.
 struct CampaignSummary {
+  /// Relays whose slot actually ran and was delivered — equals the
+  /// population size unless the run was cancelled.
   int relays_measured = 0;
   int verification_failures = 0;
   /// Slots laid out by the scheduler (kRandomized counts the whole period).
@@ -78,29 +95,98 @@ struct CampaignSummary {
   int slots_executed = 0;
   /// Simulated measurement time: last occupied slot's end, seconds.
   double simulated_seconds = 0.0;
-  /// Real execution time of the campaign engine, seconds.
-  double wall_seconds = 0.0;
   /// Error aggregates over relays that passed verification, |z/x - 1|.
   double mean_abs_relative_error = 0.0;
   double median_abs_relative_error = 0.0;
   double max_abs_relative_error = 0.0;
   double total_true_bits = 0.0;
   double total_estimated_bits = 0.0;
+
+  friend bool operator==(const CampaignSummary&,
+                         const CampaignSummary&) = default;
 };
 
 struct CampaignResult {
   std::vector<RelayEstimate> relays;
   CampaignSummary summary;
+
+  friend bool operator==(const CampaignResult&,
+                         const CampaignResult&) = default;
+};
+
+/// What a sink learns before the first slot runs.
+struct RunPlan {
+  int relays = 0;
+  int slots_in_period = 0;
+  /// Occupied slots that will execute (and be delivered).
+  int slots_to_execute = 0;
+  double team_capacity_bits = 0.0;
+};
+
+/// One completed slot: the estimates of every relay measured in it.
+struct SlotResult {
+  int slot = -1;
+  /// Indices into the input population, aligned with `estimates`.
+  std::vector<std::size_t> relay_indices;
+  std::vector<RelayEstimate> estimates;
+  /// Full per-second slot outcomes aligned with `relay_indices`; filled
+  /// only when CampaignConfig::record_outcomes is set.
+  std::vector<core::SlotOutcome> outcomes;
+};
+
+/// Execution timing and progress counters for one streamed run. This is
+/// where wall-clock time lives — deliberately outside CampaignSummary so
+/// campaign results stay comparable across runs and machines.
+struct RunStats {
+  int slots_in_period = 0;
+  /// Slots delivered to the sink.
+  int slots_executed = 0;
+  /// Occupied slots skipped because the sink cancelled the run.
+  int slots_skipped = 0;
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  bool cancelled = false;
+};
+
+/// Streaming consumer of campaign results. Delivery is serialized and in
+/// increasing slot order regardless of the thread count, so anything a sink
+/// writes is bit-identical across runs with different `threads`.
+class SlotSink {
+ public:
+  virtual ~SlotSink() = default;
+
+  /// Called once, before any slot executes.
+  virtual void begin(const RunPlan& plan) { (void)plan; }
+
+  /// Called once per occupied slot, in increasing slot order.
+  virtual void slot_done(const SlotResult& slot) = 0;
+
+  /// Progress/cancellation hook, called after each delivery. Returning
+  /// false cancels the remaining slots: workers stop claiming work and no
+  /// further slot_done call is made.
+  virtual bool on_progress(int slots_done, int slots_total) {
+    (void)slots_done;
+    (void)slots_total;
+    return true;
+  }
 };
 
 class CampaignRunner {
  public:
   /// Resolves the team's capacities up front (override or iPerf mesh), so
-  /// repeated runs reuse the same measurer estimates.
+  /// repeated runs reuse the same measurer estimates. Validates
+  /// `config.params` (core::Params::validate).
   CampaignRunner(const net::Topology& topo, CampaignConfig config);
 
-  /// Measures the whole population once. Deterministic in (population,
-  /// config, seed); independent of `threads`.
+  /// Streams the whole population through `sink`, one delivery per
+  /// occupied slot. Deterministic in (population, config, seed);
+  /// independent of `threads`. Returns timing/progress stats — the only
+  /// nondeterministic outputs of a run.
+  RunStats run(std::span<const CampaignRelay> relays, SlotSink& sink) const;
+
+  /// Batch convenience: aggregates the stream into a CampaignResult
+  /// (campaign/sink.h AggregatingSink). Use the streaming overload to
+  /// recover wall-clock timing.
   CampaignResult run(std::span<const CampaignRelay> relays) const;
 
   const std::vector<double>& measurer_capacities() const {

@@ -1,0 +1,103 @@
+#include "campaign/sink.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "metrics/stats.h"
+
+namespace flashflow::campaign {
+namespace {
+
+// Round-trip double formatting (std::to_chars shortest form): parses back
+// exactly, so streamed files are stable and diffable, and allocation-free
+// on the per-estimate hot path.
+std::string fmt(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+void AggregatingSink::begin(const RunPlan& plan) {
+  result_ = CampaignResult{};
+  result_.relays.assign(static_cast<std::size_t>(plan.relays),
+                        RelayEstimate{});
+  result_.summary.slots_in_period = plan.slots_in_period;
+}
+
+void AggregatingSink::slot_done(const SlotResult& slot) {
+  for (std::size_t i = 0; i < slot.relay_indices.size(); ++i)
+    result_.relays[slot.relay_indices[i]] = slot.estimates[i];
+}
+
+CampaignResult AggregatingSink::result(const RunStats& stats) && {
+  CampaignSummary& summary = result_.summary;
+  summary.slots_executed = stats.slots_executed;
+  summary.simulated_seconds = stats.simulated_seconds;
+  summary.relays_measured = 0;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(result_.relays.size());
+  for (const RelayEstimate& est : result_.relays) {
+    // Relays whose slot never ran (the run was cancelled) keep the
+    // default slot == -1; they are not measured and must not dilute the
+    // error statistics with their zero-initialized entries.
+    if (est.slot < 0) continue;
+    ++summary.relays_measured;
+    if (est.verification_failed) {
+      ++summary.verification_failures;
+      continue;
+    }
+    summary.total_true_bits += est.ground_truth_bits;
+    summary.total_estimated_bits += est.estimate_bits;
+    abs_errors.push_back(std::fabs(est.relative_error));
+  }
+  if (!abs_errors.empty()) {
+    summary.mean_abs_relative_error =
+        metrics::mean(metrics::as_span(abs_errors));
+    summary.median_abs_relative_error =
+        metrics::median(metrics::as_span(abs_errors));
+    summary.max_abs_relative_error =
+        *std::max_element(abs_errors.begin(), abs_errors.end());
+  }
+  return std::move(result_);
+}
+
+void CsvSink::begin(const RunPlan&) {
+  ++period_;
+  if (!header_written_) {
+    out_ << "period,relay,slot,estimate_bits,ground_truth_bits,"
+            "relative_error,verification_failed\n";
+    header_written_ = true;
+  }
+}
+
+void CsvSink::slot_done(const SlotResult& slot) {
+  for (std::size_t i = 0; i < slot.relay_indices.size(); ++i) {
+    const RelayEstimate& est = slot.estimates[i];
+    out_ << period_ << ',' << slot.relay_indices[i] << ',' << est.slot << ','
+         << fmt(est.estimate_bits) << ',' << fmt(est.ground_truth_bits) << ','
+         << fmt(est.relative_error) << ','
+         << (est.verification_failed ? 1 : 0) << '\n';
+  }
+}
+
+void JsonlSink::begin(const RunPlan&) { ++period_; }
+
+void JsonlSink::slot_done(const SlotResult& slot) {
+  for (std::size_t i = 0; i < slot.relay_indices.size(); ++i) {
+    const RelayEstimate& est = slot.estimates[i];
+    out_ << "{\"period\":" << period_
+         << ",\"relay\":" << slot.relay_indices[i] << ",\"slot\":" << est.slot
+         << ",\"estimate_bits\":" << fmt(est.estimate_bits)
+         << ",\"ground_truth_bits\":" << fmt(est.ground_truth_bits)
+         << ",\"relative_error\":" << fmt(est.relative_error)
+         << ",\"verification_failed\":"
+         << (est.verification_failed ? "true" : "false") << "}\n";
+  }
+}
+
+}  // namespace flashflow::campaign

@@ -1,0 +1,94 @@
+// Standard SlotSinks for the streaming campaign API.
+//
+// Because CampaignRunner delivers slots serialized and in increasing slot
+// order, every sink here produces byte-identical output regardless of the
+// worker thread count:
+//
+//   - AggregatingSink rebuilds the batch CampaignResult in memory (the
+//     batch run() overload is implemented on top of it),
+//   - CsvSink / JsonlSink stream one row/object per relay estimate to an
+//     ostream as the slots finish,
+//   - ProgressSink adapts a callback into the progress/cancellation hook
+//     and forwards everything else to an optional inner sink.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <utility>
+
+#include "campaign/campaign.h"
+
+namespace flashflow::campaign {
+
+/// Rebuilds the in-memory CampaignResult from the stream: per-relay
+/// estimates aligned with the input population plus the aggregate summary.
+class AggregatingSink : public SlotSink {
+ public:
+  void begin(const RunPlan& plan) override;
+  void slot_done(const SlotResult& slot) override;
+
+  /// Finalizes the summary from the collected estimates and the run's
+  /// deterministic counters. Call after run() returns.
+  CampaignResult result(const RunStats& stats) &&;
+
+ private:
+  CampaignResult result_;
+};
+
+/// One CSV row per relay estimate:
+///   period,relay,slot,estimate_bits,ground_truth_bits,relative_error,
+///   verification_failed
+/// Doubles are printed round-trip (max_digits10) so files diff cleanly
+/// across runs. The header is written once even if the sink is reused
+/// across periods (scenario::Experiment streams every period into one
+/// sink; `period` counts begin() calls).
+class CsvSink : public SlotSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void begin(const RunPlan& plan) override;
+  void slot_done(const SlotResult& slot) override;
+
+ private:
+  std::ostream& out_;
+  bool header_written_ = false;
+  int period_ = -1;
+};
+
+/// One JSON object per relay estimate, one per line (JSONL), same fields
+/// as CsvSink plus the period index when reused across periods.
+class JsonlSink : public SlotSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void begin(const RunPlan& plan) override;
+  void slot_done(const SlotResult& slot) override;
+
+ private:
+  std::ostream& out_;
+  int period_ = -1;
+};
+
+/// Wraps a progress/cancellation callback, optionally forwarding results
+/// to an inner sink. The callback returns false to cancel the run.
+class ProgressSink : public SlotSink {
+ public:
+  using Callback = std::function<bool(int slots_done, int slots_total)>;
+  explicit ProgressSink(Callback on_progress, SlotSink* inner = nullptr)
+      : callback_(std::move(on_progress)), inner_(inner) {}
+
+  void begin(const RunPlan& plan) override {
+    if (inner_) inner_->begin(plan);
+  }
+  void slot_done(const SlotResult& slot) override {
+    if (inner_) inner_->slot_done(slot);
+  }
+  bool on_progress(int slots_done, int slots_total) override {
+    if (inner_ && !inner_->on_progress(slots_done, slots_total)) return false;
+    return !callback_ || callback_(slots_done, slots_total);
+  }
+
+ private:
+  Callback callback_;
+  SlotSink* inner_;
+};
+
+}  // namespace flashflow::campaign

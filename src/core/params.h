@@ -2,6 +2,9 @@
 // (§6.1, Appendix E).
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 #include "sim/time.h"
 
 namespace flashflow::core {
@@ -34,6 +37,25 @@ struct Params {
 
   /// Upper bound on a lying relay's capacity inflation: 1/(1-r) (§5).
   double max_inflation() const { return 1.0 / (1.0 - ratio); }
+
+  /// Rejects parameter combinations the protocol math cannot support
+  /// (epsilon1 or ratio at/above 1 divide by zero in the excess factor and
+  /// the background clamp; non-positive sockets/slot/multiplier make every
+  /// slot degenerate). Throws std::invalid_argument naming the bad field.
+  void validate() const {
+    const auto reject = [](const std::string& what) {
+      throw std::invalid_argument("Params::validate: " + what);
+    };
+    if (sockets <= 0) reject("sockets must be positive");
+    if (multiplier <= 0.0) reject("multiplier must be positive");
+    if (slot_seconds <= 0) reject("slot_seconds must be positive");
+    if (epsilon1 < 0.0 || epsilon1 >= 1.0) reject("epsilon1 must be in [0, 1)");
+    if (epsilon2 < 0.0) reject("epsilon2 must be non-negative");
+    if (ratio < 0.0 || ratio >= 1.0) reject("ratio must be in [0, 1)");
+    if (check_probability < 0.0 || check_probability > 1.0)
+      reject("check_probability must be in [0, 1]");
+    if (period <= 0) reject("period must be positive");
+  }
 };
 
 }  // namespace flashflow::core

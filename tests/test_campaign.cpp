@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <utility>
 #include <vector>
 
+#include "campaign/sink.h"
 #include "campaign/thread_pool.h"
 #include "net/units.h"
 #include "tor/cpu_model.h"
@@ -91,19 +95,127 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
   const auto serial = CampaignRunner(topo, config1).run(relays);
   const auto parallel = CampaignRunner(topo, config8).run(relays);
 
-  ASSERT_EQ(serial.relays.size(), parallel.relays.size());
-  for (std::size_t i = 0; i < serial.relays.size(); ++i) {
-    // Bit-identical, not merely close: per-slot sub-seeding must make the
-    // schedule of workers irrelevant.
-    EXPECT_EQ(serial.relays[i].estimate_bits,
-              parallel.relays[i].estimate_bits);
-    EXPECT_EQ(serial.relays[i].slot, parallel.relays[i].slot);
-    EXPECT_EQ(serial.relays[i].ground_truth_bits,
-              parallel.relays[i].ground_truth_bits);
-  }
-  EXPECT_EQ(serial.summary.mean_abs_relative_error,
-            parallel.summary.mean_abs_relative_error);
-  EXPECT_EQ(serial.summary.slots_executed, parallel.summary.slots_executed);
+  // Bit-identical, not merely close: per-slot sub-seeding must make the
+  // schedule of workers irrelevant. Whole-struct equality is possible
+  // because CampaignSummary carries no wall-clock timing (that lives in
+  // RunStats).
+  EXPECT_TRUE(serial == parallel);
+  EXPECT_EQ(serial.relays, parallel.relays);
+  EXPECT_EQ(serial.summary, parallel.summary);
+}
+
+TEST(Campaign, StreamedSinkOutputIdenticalAcrossThreadCounts) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  const auto stream_csv = [&](int threads) {
+    auto config = lab_config(topo);
+    config.threads = threads;
+    std::ostringstream out;
+    CsvSink sink(out);
+    CampaignRunner(topo, config).run(relays, sink);
+    return out.str();
+  };
+  const auto stream_jsonl = [&](int threads) {
+    auto config = lab_config(topo);
+    config.threads = threads;
+    std::ostringstream out;
+    JsonlSink sink(out);
+    CampaignRunner(topo, config).run(relays, sink);
+    return out.str();
+  };
+
+  // Slots are delivered in increasing slot order regardless of completion
+  // order, so the streamed bytes — not just the aggregate — match.
+  const std::string csv1 = stream_csv(1);
+  EXPECT_EQ(csv1, stream_csv(8));
+  EXPECT_NE(csv1.find("period,relay,slot"), std::string::npos);
+  EXPECT_EQ(stream_jsonl(1), stream_jsonl(8));
+}
+
+TEST(Campaign, SinkSeesEverySlotInOrderWithPlan) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  struct RecordingSink : SlotSink {
+    RunPlan plan;
+    std::vector<int> slots;
+    std::size_t relays_seen = 0;
+    int progress_calls = 0;
+    void begin(const RunPlan& p) override { plan = p; }
+    void slot_done(const SlotResult& slot) override {
+      slots.push_back(slot.slot);
+      relays_seen += slot.relay_indices.size();
+      ASSERT_EQ(slot.relay_indices.size(), slot.estimates.size());
+      EXPECT_TRUE(slot.outcomes.empty());  // record_outcomes off
+    }
+    bool on_progress(int done, int total) override {
+      ++progress_calls;
+      EXPECT_LE(done, total);
+      return true;
+    }
+  } sink;
+
+  auto config = lab_config(topo);
+  config.threads = 4;
+  const auto stats = CampaignRunner(topo, config).run(relays, sink);
+
+  EXPECT_EQ(sink.plan.relays, static_cast<int>(relays.size()));
+  EXPECT_EQ(sink.plan.slots_to_execute, static_cast<int>(sink.slots.size()));
+  EXPECT_EQ(sink.relays_seen, relays.size());
+  EXPECT_EQ(sink.progress_calls, stats.slots_executed);
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_EQ(stats.slots_skipped, 0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_TRUE(std::is_sorted(sink.slots.begin(), sink.slots.end()));
+}
+
+TEST(Campaign, ProgressHookCancelsRemainingSlots) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  AggregatingSink aggregate;
+  ProgressSink cancel_after_first([](int done, int) { return done < 1; },
+                                  &aggregate);
+  auto config = lab_config(topo);
+  config.threads = 2;
+  const auto stats = CampaignRunner(topo, config).run(relays, cancel_after_first);
+
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.slots_executed, 1);
+  EXPECT_GT(stats.slots_skipped, 0);
+
+  // A partial run's summary covers only the delivered relays: relays
+  // whose slot never ran must not dilute the error statistics.
+  const auto partial = std::move(aggregate).result(stats);
+  int delivered = 0;
+  for (const auto& est : partial.relays) delivered += est.slot >= 0;
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, static_cast<int>(relays.size()));
+  EXPECT_EQ(partial.summary.relays_measured, delivered);
+  EXPECT_GT(partial.summary.mean_abs_relative_error, 0.0);
+}
+
+TEST(Campaign, RecordOutcomesAttachesPerSecondSeries) {
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  struct OutcomeSink : SlotSink {
+    std::size_t outcomes = 0;
+    std::size_t seconds = 0;
+    void slot_done(const SlotResult& slot) override {
+      ASSERT_EQ(slot.outcomes.size(), slot.relay_indices.size());
+      outcomes += slot.outcomes.size();
+      for (const auto& out : slot.outcomes) seconds += out.x_bits.size();
+    }
+  } sink;
+
+  auto config = lab_config(topo);
+  config.record_outcomes = true;
+  CampaignRunner(topo, config).run(relays, sink);
+  EXPECT_EQ(sink.outcomes, relays.size());
+  // One per-second sample per slot second for every relay.
+  EXPECT_EQ(sink.seconds, relays.size() * 30);
 }
 
 TEST(Campaign, EstimatesTrackKnownCapacities) {
@@ -152,6 +264,11 @@ TEST(Campaign, RejectsBadConfig) {
   auto misaligned = lab_config(topo);
   misaligned.measurer_capacity_bits = {net::mbit(900)};
   EXPECT_THROW(CampaignRunner(topo, misaligned), std::invalid_argument);
+
+  // Params are validated up front (core::Params::validate).
+  auto bad_params = lab_config(topo);
+  bad_params.params.ratio = 1.0;
+  EXPECT_THROW(CampaignRunner(topo, bad_params), std::invalid_argument);
 }
 
 }  // namespace

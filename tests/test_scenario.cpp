@@ -1,0 +1,408 @@
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/sink.h"
+#include "net/units.h"
+#include "scenario/experiment.h"
+#include "tor/bandwidth_file.h"
+
+namespace flashflow::scenario {
+namespace {
+
+ScenarioSpec lab_spec(std::vector<double> limits_mbit,
+                      std::uint64_t seed = 20210613) {
+  return ScenarioBuilder("lab")
+      .table1_relays(std::move(limits_mbit))
+      .measurers({"US-E", "NL"})
+      .measurer_capacities({net::mbit(900), net::mbit(900)})
+      .seed(seed)
+      .build();
+}
+
+TEST(ScenarioBuilder, RejectsInvalidSpecs) {
+  // Empty table1 population.
+  EXPECT_THROW(ScenarioBuilder().table1_relays({}).build(),
+               std::invalid_argument);
+  // Adversary fractions outside [0, 1] or summing above 1.
+  EXPECT_THROW(ScenarioBuilder().table1_relays({100}).liars(-0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioBuilder().table1_relays({100}).liars(0.6).forgers(0.6).build(),
+      std::invalid_argument);
+  // Bad protocol params propagate through Params::validate.
+  core::Params bad;
+  bad.epsilon1 = 1.0;
+  EXPECT_THROW(ScenarioBuilder().table1_relays({100}).params(bad).build(),
+               std::invalid_argument);
+  // Synthetic population with no relays.
+  EXPECT_THROW(ScenarioBuilder().synthetic({}, 0).build(),
+               std::invalid_argument);
+  // Team capacity overrides misaligned with named measurers.
+  EXPECT_THROW(ScenarioBuilder()
+                   .table1_relays({100})
+                   .measurers({"US-E", "NL"})
+                   .measurer_capacities({net::mbit(900)})
+                   .build(),
+               std::invalid_argument);
+  // ...and with the population's *default* team (table1: 4 hosts).
+  EXPECT_THROW(ScenarioBuilder()
+                   .table1_relays({100})
+                   .measurer_capacities({net::mbit(900)})
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder()
+                   .shadow_net({}, 1)
+                   .measurer_capacities({net::gbit(1)})
+                   .build(),
+               std::invalid_argument);
+  // Periods below 1.
+  EXPECT_THROW(ScenarioBuilder().table1_relays({100}).periods(0).build(),
+               std::invalid_argument);
+  // Synthetic populations need capacity overrides at materialization time
+  // (no real topology to mesh-measure).
+  auto spec = ScenarioBuilder().synthetic({}, 10).build();
+  EXPECT_THROW(materialize(spec), std::invalid_argument);
+}
+
+TEST(Scenario, Table1RunTracksGroundTruth) {
+  const Scenario scenario(
+      lab_spec({10, 25, 50, 75, 100, 150, 200, 250, 40, 120}));
+  const auto result = scenario.run();
+
+  ASSERT_EQ(result.relays.size(), 10u);
+  EXPECT_EQ(result.summary.verification_failures, 0);
+  for (const auto& est : result.relays) {
+    ASSERT_GT(est.ground_truth_bits, 0.0);
+    const double ratio = est.estimate_bits / est.ground_truth_bits;
+    EXPECT_GT(ratio, 0.70);
+    EXPECT_LT(ratio, 1.15);
+  }
+  EXPECT_LT(result.summary.mean_abs_relative_error, 0.15);
+}
+
+TEST(Scenario, DefaultTeamIsEveryOtherTable1Host) {
+  const auto spec = ScenarioBuilder().table1_relays({100}).build();
+  const auto mat = materialize(spec);
+  // US-SW hosts the relay; the other four Table 1 hosts measure.
+  EXPECT_EQ(mat.measurer_hosts.size(), 4u);
+  EXPECT_EQ(mat.relays.size(), 1u);
+  EXPECT_EQ(mat.fingerprints.size(), 1u);
+}
+
+TEST(Scenario, PlanMatchesRunLayout) {
+  const Scenario scenario(lab_spec({10, 25, 50, 75, 100, 150, 200, 250}));
+  const auto plan = scenario.plan();
+  const auto result = scenario.run();
+
+  EXPECT_EQ(plan.relays, 8);
+  EXPECT_EQ(plan.team_capacity_bits, net::mbit(1800));
+  EXPECT_EQ(plan.slots_in_period, result.summary.slots_in_period);
+  EXPECT_GT(plan.total_requirement_bits, plan.total_prior_bits);
+}
+
+TEST(Scenario, SyntheticPlanCoversWholePopulationWithoutTopology) {
+  analysis::PopulationParams pop;
+  pop.lognormal_mu = 17.42;
+  pop.lognormal_sigma = 1.45;
+  pop.max_capacity_bits = 998e6;
+  // §7 scale: thousands of relays. plan() must not materialize a topology
+  // (whose dense path matrices would dwarf the schedule itself).
+  const Scenario scenario(ScenarioBuilder("sec7")
+                              .synthetic(pop, 6419)
+                              .measurer_capacities({net::gbit(1),
+                                                    net::gbit(1),
+                                                    net::gbit(1)})
+                              .seed(20210613)
+                              .build());
+  const auto plan = scenario.plan();
+  EXPECT_EQ(plan.relays, 6419);
+  EXPECT_EQ(plan.team_capacity_bits, net::gbit(3));
+  // The paper needs ~599 slots (~5 h) for the July 2019 network.
+  EXPECT_GT(plan.slots_used, 300);
+  EXPECT_LT(plan.slots_used, 1200);
+  EXPECT_DOUBLE_EQ(plan.simulated_seconds, plan.slots_used * 30.0);
+}
+
+TEST(Scenario, SyntheticPlanAgreesWithRun) {
+  // plan() derives priors without a topology; run() materializes relays
+  // whose oracle ground truth must reproduce exactly the same layout.
+  analysis::PopulationParams pop;
+  pop.lognormal_mu = 16.0;
+  pop.max_capacity_bits = 200e6;
+  const Scenario scenario(ScenarioBuilder("syn")
+                              .synthetic(pop, 40)
+                              .measurer_capacities({net::mbit(900),
+                                                    net::mbit(900)})
+                              .seed(13)
+                              .build());
+  const auto plan = scenario.plan();
+  const auto result = scenario.run();
+  EXPECT_EQ(plan.slots_in_period, result.summary.slots_in_period);
+  EXPECT_EQ(plan.slots_used, result.summary.slots_executed);
+  EXPECT_EQ(plan.relays, result.summary.relays_measured);
+}
+
+TEST(Scenario, ShadowPlanAgreesWithRun) {
+  // Same layout-agreement pin as the synthetic case: plan() derives
+  // advertised-bandwidth priors without building the topology; run() must
+  // land on the same slot layout.
+  shadowsim::ShadowNetParams net_params;
+  net_params.relays = 25;
+  const Scenario scenario(ScenarioBuilder("shadow-plan")
+                              .shadow_net(net_params, 3)
+                              .measurer_capacities({net::gbit(1),
+                                                    net::gbit(1),
+                                                    net::gbit(1)})
+                              .seed(17)
+                              .build());
+  const auto plan = scenario.plan();
+  const auto result = scenario.run();
+  EXPECT_EQ(plan.slots_in_period, result.summary.slots_in_period);
+  EXPECT_EQ(plan.slots_used, result.summary.slots_executed);
+  EXPECT_EQ(plan.relays, result.summary.relays_measured);
+}
+
+TEST(ScenarioBuilder, RejectsNegativeTable1Fields) {
+  EXPECT_THROW(ScenarioBuilder().table1_relays({-100}).build(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioBuilder().table1_relays({100}, -50).build(),
+               std::invalid_argument);
+  // 0 stays valid: the §6 "unlimited" configuration.
+  EXPECT_NO_THROW(ScenarioBuilder().table1_relays({0}).build());
+}
+
+TEST(Scenario, RecordOutcomesStreamsPerSecondTimeline) {
+  auto spec = ScenarioBuilder("fig7-like")
+                  .table1_relays({250}, /*background_mbit=*/50,
+                                 /*prior_mbit=*/250)
+                  .measurers({"NL"})
+                  .measurer_capacities({net::mbit(1600)})
+                  .record_outcomes()
+                  .seed(20210607)
+                  .build();
+  const Scenario scenario(std::move(spec));
+
+  struct TimelineSink : campaign::SlotSink {
+    std::vector<core::SlotOutcome> outcomes;
+    void slot_done(const campaign::SlotResult& slot) override {
+      for (const auto& out : slot.outcomes) outcomes.push_back(out);
+    }
+  } sink;
+  scenario.run(sink);
+
+  ASSERT_EQ(sink.outcomes.size(), 1u);
+  EXPECT_EQ(sink.outcomes[0].x_bits.size(), 30u);
+  EXPECT_EQ(sink.outcomes[0].y_clamped_bits.size(), 30u);
+  EXPECT_GT(sink.outcomes[0].estimate_bits, 0.0);
+}
+
+TEST(Experiment, StreamedSinkOutputIdenticalAcrossThreadCounts) {
+  // Acceptance criterion: a >= 3 period randomized-schedule experiment is
+  // bit-identical between 1 and 8 threads at the sink level.
+  const auto stream = [&](int threads) {
+    auto spec = ScenarioBuilder("determinism")
+                    .table1_relays({10, 25, 50, 75, 100, 150, 200, 250},
+                                   /*background_mbit=*/0,
+                                   /*prior_mbit=*/40)
+                    .measurers({"US-E", "NL"})
+                    .measurer_capacities({net::mbit(900), net::mbit(900)})
+                    .schedule(campaign::ScheduleMode::kRandomized)
+                    .periods(3)
+                    .threads(threads)
+                    .seed(77)
+                    .build();
+    Experiment experiment(std::move(spec));
+    std::ostringstream out;
+    campaign::CsvSink sink(out);
+    const auto result = experiment.run(&sink);
+    EXPECT_EQ(result.periods.size(), 3u);
+    return out.str();
+  };
+
+  const std::string serial = stream(1);
+  const std::string parallel = stream(8);
+  EXPECT_EQ(serial, parallel);
+  // All three periods streamed through the one sink.
+  EXPECT_NE(serial.find("\n2,"), std::string::npos);
+}
+
+TEST(Experiment, PriorFeedbackConvergesOnHonestPopulation) {
+  // Priors start at 10 Mbit for relays up to 25x larger; the f ~ 2.95
+  // allocation lets estimates grow geometrically, so the period-over-
+  // period error must shrink (or hold once converged).
+  auto spec = ScenarioBuilder("feedback")
+                  .table1_relays({50, 100, 150, 250},
+                                 /*background_mbit=*/0,
+                                 /*prior_mbit=*/10)
+                  .measurers({"US-E", "NL"})
+                  .measurer_capacities({net::mbit(900), net::mbit(900)})
+                  .periods(5)
+                  .seed(20210618)
+                  .build();
+  Experiment experiment(std::move(spec));
+  const auto result = experiment.run();
+
+  ASSERT_EQ(result.periods.size(), 5u);
+  const auto err = [&](int p) {
+    return result.periods[static_cast<std::size_t>(p)]
+        .summary.mean_abs_relative_error;
+  };
+  // Severely under-allocated at first...
+  EXPECT_GT(err(0), 0.5);
+  // ...monotonically improving (2% tolerance for converged-state noise)...
+  for (int p = 1; p < 5; ++p) EXPECT_LE(err(p), err(p - 1) + 0.02);
+  // ...and accurate once priors have caught up.
+  EXPECT_LT(err(4), 0.10);
+  EXPECT_LT(result.final_period.summary.mean_abs_relative_error, 0.10);
+}
+
+TEST(Experiment, LiarInflationBoundedByMaxInflation) {
+  const std::vector<double> limits(10, 100.0);
+  auto honest_spec = lab_spec(limits, 31);
+  auto liar_spec = ScenarioBuilder("liars")
+                       .table1_relays(limits)
+                       .measurers({"US-E", "NL"})
+                       .measurer_capacities({net::mbit(900), net::mbit(900)})
+                       .liars(0.5)
+                       .seed(31)
+                       .build();
+
+  const Scenario honest(std::move(honest_spec));
+  const Scenario lying(std::move(liar_spec));
+  const auto honest_result = honest.run();
+  const auto liar_result = lying.run();
+
+  const double bound = core::Params{}.max_inflation();  // 1/(1-r) = 1.33
+  int liars_seen = 0;
+  for (std::size_t i = 0; i < limits.size(); ++i) {
+    const auto& est = liar_result.relays[i];
+    ASSERT_GT(est.ground_truth_bits, 0.0);
+    if (lying.materialized().relays[i].behavior ==
+        core::TargetBehavior::kLieAboutBackground) {
+      ++liars_seen;
+      // §5: lying about background traffic inflates the estimate, but
+      // never beyond 1/(1-r) of capacity (modulo per-slot noise).
+      const double inflation = est.estimate_bits / est.ground_truth_bits;
+      EXPECT_GT(inflation, 1.05);
+      EXPECT_LT(inflation, bound * 1.08);
+    } else {
+      EXPECT_LT(std::fabs(est.relative_error), 0.20);
+    }
+    EXPECT_FALSE(est.verification_failed);
+  }
+  EXPECT_GT(liars_seen, 1);
+  EXPECT_LT(liars_seen, 9);
+  // Network-wide the liars buy less than the per-relay bound.
+  EXPECT_LT(liar_result.summary.total_estimated_bits,
+            honest_result.summary.total_true_bits * bound);
+}
+
+TEST(Experiment, ForgersFailVerification) {
+  auto spec = ScenarioBuilder("forgers")
+                  .table1_relays(std::vector<double>(8, 100.0))
+                  .measurers({"US-E", "NL"})
+                  .measurer_capacities({net::mbit(900), net::mbit(900)})
+                  .forgers(0.4)
+                  .seed(7)
+                  .build();
+  const Scenario scenario(std::move(spec));
+  const auto result = scenario.run();
+
+  int forgers = 0;
+  for (std::size_t i = 0; i < result.relays.size(); ++i) {
+    const bool is_forger = scenario.materialized().relays[i].behavior ==
+                           core::TargetBehavior::kForgeEchoes;
+    forgers += is_forger;
+    // The sampled spot check catches a 100 Mbit/s forger in a 30 s slot
+    // with probability ~1 - e^-7 per slot.
+    EXPECT_EQ(result.relays[i].verification_failed, is_forger);
+  }
+  EXPECT_GT(forgers, 0);
+  EXPECT_EQ(result.summary.verification_failures, forgers);
+}
+
+TEST(Experiment, EmitsParsableBandwidthFile) {
+  shadowsim::ShadowNetParams net_params;
+  net_params.relays = 30;
+  auto spec = ScenarioBuilder("shadow")
+                  .shadow_net(net_params, 11)
+                  .measurer_capacities(
+                      {net::gbit(1), net::gbit(1), net::gbit(1)})
+                  .periods(2)
+                  .seed(5)
+                  .build();
+  Experiment experiment(std::move(spec));
+  const auto result = experiment.run();
+
+  ASSERT_EQ(result.periods.size(), 2u);
+  const std::string text =
+      experiment.bandwidth_file_text(1, result.final_period);
+  const auto parsed = tor::parse_bandwidth_file(text);
+  EXPECT_EQ(parsed.header.timestamp, 2 * 24 * 3600);
+  EXPECT_EQ(parsed.entries.size(),
+            result.final_period.relays.size() -
+                static_cast<std::size_t>(
+                    result.final_period.summary.verification_failures));
+  for (const auto& entry : parsed.entries) EXPECT_GT(entry.weight, 0.0);
+}
+
+TEST(Experiment, OnePeriodAgreesWithScenarioRun) {
+  // Both entry points must resolve the iPerf mesh with the same seed, so
+  // a 1-period Experiment and Scenario::run() are interchangeable.
+  const auto spec = ScenarioBuilder("mesh")
+                        .table1_relays({50, 100, 250})
+                        .seed(99)
+                        .build();  // no capacity overrides: mesh runs
+  const Scenario scenario{ScenarioSpec{spec}};
+  Experiment experiment{ScenarioSpec{spec}};
+  const auto direct = scenario.run();
+  const auto looped = experiment.run();
+  EXPECT_TRUE(direct == looped.final_period);
+}
+
+TEST(SpeedTest, RejectsSpecsItCannotHonor) {
+  const analysis::PopulationParams pop;
+  // Non-synthetic population.
+  EXPECT_THROW(run_speed_test(ScenarioBuilder().table1_relays({100}).build()),
+               std::invalid_argument);
+  // Fields the archive experiment cannot apply are rejected, not dropped.
+  EXPECT_THROW(
+      run_speed_test(ScenarioBuilder().synthetic(pop, 10).liars(0.5).build()),
+      std::invalid_argument);
+  EXPECT_THROW(run_speed_test(
+                   ScenarioBuilder().synthetic(pop, 10).periods(3).build()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(run_speed_test(
+      ScenarioBuilder()
+          .synthetic(pop, pop.initial_relays)
+          .seed(20210605)
+          .build(),
+      SpeedTestWindow{/*warmup_days=*/2, /*test_duration_hours=*/6,
+                      /*cooldown_days=*/1}));
+}
+
+TEST(Experiment, PeriodHookObservesEveryPeriod) {
+  auto spec = lab_spec({50, 100});
+  spec.periods = 3;
+  Experiment experiment(std::move(spec));
+  std::vector<int> seen;
+  const auto result = experiment.run(
+      nullptr, [&](const Experiment::PeriodRecord& record,
+                   const campaign::CampaignResult& period_result) {
+        seen.push_back(record.period);
+        EXPECT_EQ(period_result.relays.size(), 2u);
+        EXPECT_GT(record.stats.wall_seconds, 0.0);
+      });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(result.cancelled);
+}
+
+}  // namespace
+}  // namespace flashflow::scenario
