@@ -13,7 +13,14 @@
 
 using namespace flashflow;
 
-int main() {
+int main(int argc, char** argv) {
+  // Analytic lab curves (RelayModel/CpuModel evaluation, no simulation
+  // noise and no worker pool): parse_cli gives the standard CLI surface;
+  // the seed cannot perturb a deterministic curve.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/1,
+                                    /*default_threads=*/1,
+                                    /*accepts_threads=*/false);
+  static_cast<void>(cli);
   bench::header("Figure 11 - Tor throughput vs sockets/circuits (lab)",
                 "peak 1,248 Mbit/s at 20 sockets; circuits curve flat at "
                 "the single-socket limit");

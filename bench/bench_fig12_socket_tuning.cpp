@@ -14,7 +14,14 @@
 
 using namespace flashflow;
 
-int main() {
+int main(int argc, char** argv) {
+  // Analytic lab curves (tcp_model/CpuModel evaluation, no simulation
+  // noise and no worker pool): parse_cli gives the standard CLI surface;
+  // the seed cannot perturb a deterministic curve.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/1,
+                                    /*default_threads=*/1,
+                                    /*accepts_threads=*/false);
+  static_cast<void>(cli);
   bench::header("Figure 12 - single-socket throughput vs kernel tuning",
                 "tuned > default at all RTTs; both decline in RTT; max "
                 "~1,269 Mbit/s");

@@ -108,6 +108,14 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   std::size_t delivered = 0;
   std::atomic<bool> cancelled{false};
 
+  // Relay-name hashes for the per-target noise substreams, computed once
+  // per run instead of once per relay per slot (the derived substreams are
+  // identical either way — see ConcurrentTarget::name_hash).
+  std::vector<std::uint64_t> name_hashes;
+  name_hashes.reserve(relays.size());
+  for (const auto& r : relays)
+    name_hashes.push_back(sim::hash_tag(r.model.name));
+
   // Each slot task derives its RNG from the period seed and the slot index
   // alone and touches only its own relays, so the outcome is independent
   // of the thread count and of the order in which workers claim slots.
@@ -116,30 +124,50 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   const std::uint64_t slot_domain =
       config_.seed ^ sim::hash_tag("campaign/slot");
   ThreadPool pool(config_.threads);
-  pool.parallel_for(occupied.size(), [&](std::size_t w) {
+
+  // Per-lane persistent scratch: each parallel_for lane stays on one
+  // worker thread, so its SlotWorkspace and target/residual buffers are
+  // reused (without locking) across every slot the lane claims. Workspaces
+  // are pure scratch — results are independent of which lane ran a slot.
+  struct WorkerScratch {
+    core::SlotWorkspace workspace;
+    std::vector<double> residual;
+    std::vector<core::SlotRunner::ConcurrentTarget> targets;
+    std::vector<int> target_sockets;
+  };
+  std::vector<WorkerScratch> scratch(pool.lanes(occupied.size()));
+
+  pool.parallel_for(occupied.size(), [&](std::size_t lane, std::size_t w) {
     if (cancelled.load()) return;
     const std::size_t slot = occupied[w];
     const std::uint64_t sub_seed =
         slot_domain ^ static_cast<std::uint64_t>(slot);
     core::SlotRunner runner(topo_, params, sim::Rng(sub_seed));
+    WorkerScratch& ws = scratch[lane];
 
     // §4.2 allocation: each relay in the slot claims f * z0 from the
     // measurers' remaining capacity, largest-residual first.
-    std::vector<double> residual = measurer_caps_;
-    std::vector<core::SlotRunner::ConcurrentTarget> targets;
-    std::vector<int> target_sockets;
-    targets.reserve(slot_relays[slot].size());
-    for (const std::size_t r : slot_relays[slot]) {
+    ws.residual = measurer_caps_;
+    const std::vector<std::size_t>& slot_members = slot_relays[slot];
+    const std::size_t n_targets = slot_members.size();
+    if (ws.targets.size() < n_targets) ws.targets.resize(n_targets);
+    ws.target_sockets.assign(n_targets, 0);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const std::size_t r = slot_members[t];
       const auto alloc = core::allocate_greedy(
-          residual, params.excess_factor() * priors[r]);
-      for (std::size_t i = 0; i < residual.size(); ++i)
-        residual[i] -= alloc[i];
+          ws.residual, params.excess_factor() * priors[r]);
+      for (std::size_t i = 0; i < ws.residual.size(); ++i)
+        ws.residual[i] -= alloc[i];
       const auto shares =
           core::make_shares(alloc, measurer_cores_, params);
-      core::SlotRunner::ConcurrentTarget target;
-      target.relay = relays[r].model;
+      // Overwrite the lane's target slot in place: the RelayModel is
+      // borrowed from the population and only the team list is rebuilt.
+      core::SlotRunner::ConcurrentTarget& target = ws.targets[t];
+      target.relay = &relays[r].model;
       target.host = relays[r].host;
       target.behavior = relays[r].behavior;
+      target.name_hash = name_hashes[r];
+      target.team.clear();
       int sockets = 0;
       for (const auto& share : shares) {
         if (share.allocated_bits <= 0.0) continue;
@@ -148,22 +176,25 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
              share.allocated_bits, share.sockets});
         sockets += share.sockets;
       }
-      targets.push_back(std::move(target));
-      target_sockets.push_back(sockets);
+      ws.target_sockets[t] = sockets;
     }
 
-    auto outcomes = runner.run_concurrent(targets);
+    auto outcomes = runner.run_concurrent(
+        std::span<const core::SlotRunner::ConcurrentTarget>(
+            ws.targets.data(), n_targets),
+        ws.workspace);
     SlotResult result;
     result.slot = static_cast<int>(slot);
-    result.relay_indices = slot_relays[slot];
+    result.relay_indices = slot_members;
     result.estimates.reserve(outcomes.size());
     for (std::size_t t = 0; t < outcomes.size(); ++t) {
-      const std::size_t r = slot_relays[slot][t];
+      const std::size_t r = slot_members[t];
       RelayEstimate est;
       est.slot = static_cast<int>(slot);
       est.estimate_bits = outcomes[t].estimate_bits;
       est.verification_failed = outcomes[t].verification_failed;
-      est.ground_truth_bits = relays[r].model.ground_truth(target_sockets[t]);
+      est.ground_truth_bits =
+          relays[r].model.ground_truth(ws.target_sockets[t]);
       if (est.ground_truth_bits > 0.0 && !est.verification_failed)
         est.relative_error =
             est.estimate_bits / est.ground_truth_bits - 1.0;

@@ -71,21 +71,30 @@ class ThreadPool {
   /// throws, the first captured exception is rethrown here after the loop
   /// drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    parallel_for(n, [&fn](std::size_t, std::size_t i) { fn(i); });
+  }
+
+  /// Lane-aware variant: fn(lane, i) with lane in [0, lanes()) identifying
+  /// the claiming task slot. Each lane runs on one worker for the duration
+  /// of the loop, so callers can keep per-lane scratch (e.g. a reusable
+  /// slot workspace) without locking. Results must still not depend on the
+  /// lane→index assignment.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
     auto failed = std::make_shared<std::atomic<bool>>(false);
     auto first_error = std::make_shared<std::once_flag>();
     auto error = std::make_shared<std::exception_ptr>();
-    const std::size_t lanes =
-        std::min(n, static_cast<std::size_t>(size()));
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      submit([n, next, failed, first_error, error, &fn] {
+    const std::size_t lane_count = lanes(n);
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+      submit([n, lane, next, failed, first_error, error, &fn] {
         // Stop claiming new indices once any invocation has thrown;
         // in-flight indices still finish.
         for (std::size_t i = (*next)++; i < n && !failed->load();
              i = (*next)++) {
           try {
-            fn(i);
+            fn(lane, i);
           } catch (...) {
             std::call_once(*first_error,
                            [&] { *error = std::current_exception(); });
@@ -96,6 +105,11 @@ class ThreadPool {
     }
     wait_idle();
     if (*error) std::rethrow_exception(*error);
+  }
+
+  /// Number of lanes a parallel_for over n indices will use.
+  std::size_t lanes(std::size_t n) const {
+    return std::min(n, static_cast<std::size_t>(size()));
   }
 
  private:

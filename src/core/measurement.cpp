@@ -7,7 +7,6 @@
 
 #include "core/verification.h"
 #include "metrics/stats.h"
-#include "net/fairshare.h"
 #include "net/tcp_model.h"
 #include "net/units.h"
 #include "tor/cell.h"
@@ -39,7 +38,7 @@ SlotOutcome SlotRunner::run(const tor::RelayModel& relay,
                             std::span<const MeasurerSlot> team,
                             TargetBehavior behavior) {
   ConcurrentTarget target;
-  target.relay = relay;
+  target.relay = &relay;
   target.host = relay_host;
   target.team.assign(team.begin(), team.end());
   target.behavior = behavior;
@@ -48,8 +47,26 @@ SlotOutcome SlotRunner::run(const tor::RelayModel& relay,
 
 std::vector<SlotOutcome> SlotRunner::run_concurrent(
     std::span<const ConcurrentTarget> targets) {
+  return run_concurrent(targets, scratch_);
+}
+
+std::vector<SlotOutcome> SlotRunner::run_concurrent(
+    std::span<const ConcurrentTarget> targets, SlotWorkspace& ws) {
   const int t_seconds = params_.slot_seconds;
   const std::size_t n_targets = targets.size();
+
+  // ---------------------------------------------------------- slot setup --
+  // Everything invariant across the slot's seconds is computed once here,
+  // into workspace buffers that persist across slots; the per-second loop
+  // below performs no heap allocation.
+
+  // Member arena layout: target t's measurers occupy
+  // [team_offset_[t], team_offset_[t+1]).
+  ws.team_offset_.resize(n_targets + 1);
+  ws.team_offset_[0] = 0;
+  for (std::size_t t = 0; t < n_targets; ++t)
+    ws.team_offset_[t + 1] = ws.team_offset_[t] + targets[t].team.size();
+  const std::size_t n_members = ws.team_offset_[n_targets];
 
   // Noise processes, one per target, plus per-slot condition factors.
   //
@@ -63,153 +80,195 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   // m*z0, a delivery dip to fraction d still saturates the relay as long
   // as m*d >= 1, which is why m = 2.25 eliminates the low outliers of
   // Fig 15 while m = 1.5 does not.
-  std::vector<tor::RelayNoise> noise;
-  std::vector<double> slot_factor;
-  std::vector<std::vector<double>> path_factor(n_targets);
-  noise.reserve(n_targets);
+  //
+  // The rng_ call sequence in this loop is load-bearing: it must match the
+  // pre-workspace implementation draw for draw so fixed-seed results stay
+  // bit-identical (tests/test_golden_determinism.cpp pins this).
+  ws.noise_.clear();
+  ws.noise_.reserve(n_targets);
+  ws.slot_factor_.resize(n_targets);
+  ws.path_factor_.resize(n_members);
   for (std::size_t t = 0; t < n_targets; ++t) {
-    noise.emplace_back(tor::RelayNoise::Params{},
-                       rng_.fork(targets[t].relay.name + "/noise"));
-    slot_factor.push_back(
-        std::clamp(1.0 + rng_.normal(-0.01, 0.04), 0.85, 1.04));
-    path_factor[t].reserve(targets[t].team.size());
-    for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
+    const ConcurrentTarget& target = targets[t];
+    const std::uint64_t name_hash = target.name_hash != 0
+                                        ? target.name_hash
+                                        : sim::hash_tag(target.relay->name);
+    // Identical substream to forking on relay->name + "/noise": FNV-1a
+    // continues from the precomputed name hash.
+    ws.noise_.emplace_back(tor::RelayNoise::Params{},
+                           rng_.fork(sim::hash_tag("/noise", name_hash)));
+    ws.slot_factor_[t] =
+        std::clamp(1.0 + rng_.normal(-0.01, 0.04), 0.85, 1.04);
+    for (std::size_t i = 0; i < target.team.size(); ++i) {
       // Occasionally a measurer's transit path has a bad half hour and
       // delivers well under its allocation; most slots see mild weather.
       const double factor =
           rng_.chance(0.12)
               ? rng_.uniform(0.36, 0.70)
               : std::clamp(1.0 + rng_.normal(-0.02, 0.06), 0.75, 1.02);
-      path_factor[t].push_back(factor);
+      ws.path_factor_[ws.team_offset_[t] + i] = factor;
     }
   }
 
-  // Total sockets pointed at each target (drives the CPU overhead model).
-  std::vector<int> sockets_at_target(n_targets, 0);
-  for (std::size_t t = 0; t < n_targets; ++t)
+  // Total sockets pointed at each target (drives the CPU overhead model),
+  // and the second-invariant part of the relay's capacity: ground_truth()
+  // composes NIC/CPU/rate-limit including the token bucket's quantization
+  // shave, none of which changes within a slot.
+  ws.sockets_at_target_.assign(n_targets, 0);
+  ws.base_capacity_.resize(n_targets);
+  for (std::size_t t = 0; t < n_targets; ++t) {
     for (const auto& m : targets[t].team)
-      sockets_at_target[t] += m.sockets;
+      ws.sockets_at_target_[t] += m.sockets;
+    ws.base_capacity_[t] =
+        targets[t].relay->ground_truth(ws.sockets_at_target_[t]);
+  }
 
   std::vector<SlotOutcome> outcomes(n_targets);
-  for (std::size_t t = 0; t < n_targets; ++t)
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    outcomes[t].x_bits.reserve(t_seconds);
+    outcomes[t].y_reported_bits.reserve(t_seconds);
+    outcomes[t].y_clamped_bits.reserve(t_seconds);
+    outcomes[t].z_bits.reserve(t_seconds);
     outcomes[t].x_by_measurer.resize(targets[t].team.size());
+    for (auto& series : outcomes[t].x_by_measurer)
+      series.reserve(t_seconds);
+  }
 
   // Shared resources: measurer NIC (min of up/down since echo traffic rides
   // both directions at the measured rate) and target-host NIC.
   // Resource layout: [measurer hosts..., target hosts..., per-target relay].
-  std::vector<net::HostId> hosts;  // de-duplicated measurer + target hosts
-  const auto host_resource = [&hosts](net::HostId h) {
-    for (std::size_t i = 0; i < hosts.size(); ++i)
-      if (hosts[i] == h) return i;
-    hosts.push_back(h);
-    return hosts.size() - 1;
+  ws.hosts_.clear();
+  const auto host_resource = [&ws](net::HostId h) {
+    for (std::size_t i = 0; i < ws.hosts_.size(); ++i)
+      if (ws.hosts_[i] == h) return i;
+    ws.hosts_.push_back(h);
+    return ws.hosts_.size() - 1;
   };
   // First pass to assign indices deterministically.
   for (const auto& target : targets) {
     host_resource(target.host);
     for (const auto& m : target.team) host_resource(m.host);
   }
-  const std::size_t relay_resource_base = hosts.size();
+  const std::size_t relay_resource_base = ws.hosts_.size();
 
+  // Host NIC capacities are slot constants; only the per-target relay
+  // resources (relay_resource_base + t) are rewritten each second.
+  ws.resources_.resize(relay_resource_base + n_targets);
+  for (std::size_t h = 0; h < relay_resource_base; ++h) {
+    const auto& host = topo_.host(ws.hosts_[h]);
+    ws.resources_[h].capacity =
+        std::min(host.nic_up_bits, host.nic_down_bits);
+  }
+
+  // Hoisted flow set. A flow's offered rate — the per-socket TCP model on
+  // the measurer→relay path (RTT, loaded loss, kernel profile) capped by
+  // its allocation, times the slot's path factor — is a slot invariant, so
+  // the topology lookups and tcp_socket_throughput happen once per
+  // (measurer, target) pair per slot, not once per second. flows_ and
+  // flow_ids_ are overwritten in place and never shrunk, so each flow's
+  // resource-index vector keeps its capacity across slots.
+  std::size_t n_flows = 0;
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    const std::size_t target_res = host_resource(targets[t].host);
+    for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
+      const auto& m = targets[t].team[i];
+      const double offered = offered_rate(m, targets[t].host) *
+                             ws.path_factor_[ws.team_offset_[t] + i];
+      if (offered <= 0.0) continue;
+      if (n_flows == ws.flows_.size()) {
+        ws.flows_.emplace_back();
+        ws.flow_ids_.emplace_back();
+      }
+      net::FairShareFlow& f = ws.flows_[n_flows];
+      f.resources.assign(
+          {host_resource(m.host), target_res, relay_resource_base + t});
+      f.weight = std::max(1, m.sockets);
+      f.cap = offered;
+      ws.flow_ids_[n_flows] = {t, i};
+      ++n_flows;
+    }
+  }
+  // The flow set is a slot invariant: prepare it once so every per-second
+  // solve skips validation, flattening and the initial weight sums.
+  ws.solver_.prepare({ws.flows_.data(), n_flows}, ws.resources_.size());
+
+  ws.relay_capacity_.resize(n_targets);
+  ws.x_t_.resize(n_targets);
+  ws.y_t_.resize(n_targets);
+  ws.x_it_.resize(n_members);
+
+  // ------------------------------------------------------ per-second loop --
   for (int second = 0; second < t_seconds; ++second) {
     // Relay-internal capacity this second (CPU, rate limit + burst, noise).
-    std::vector<double> relay_capacity(n_targets);
     for (std::size_t t = 0; t < n_targets; ++t) {
-      const auto& relay = targets[t].relay;
-      // ground_truth() composes NIC/CPU/rate-limit including the token
-      // bucket's quantization shave; the first second additionally spends
-      // the accumulated bucket (Fig 7's spike).
-      double cap = relay.ground_truth(sockets_at_target[t]);
+      const auto& relay = *targets[t].relay;
+      // The first second additionally spends the accumulated token bucket
+      // (Fig 7's spike).
+      double cap = ws.base_capacity_[t];
       if (relay.rate_limit_bits > 0.0 && second == 0)
         cap += relay.rate_limit_bits * relay.burst_seconds;
       // Noise plus a small absolute jitter that dominates for tiny relays.
-      cap = cap * slot_factor[t] * noise[t].next_factor() +
+      cap = cap * ws.slot_factor_[t] * ws.noise_[t].next_factor() +
             rng_.normal(0.0, net::mbit(0.15));
-      relay_capacity[t] = std::max(cap, 0.0);
+      ws.relay_capacity_[t] = std::max(cap, 0.0);
     }
 
     // The relay reserves the ratio-r background allowance up front (§4.1:
     // it sends as much normal traffic as the maximum ratio allows), then
     // the measurement flows share the rest of the capacity and the NICs.
-    std::vector<double> x_t(n_targets, 0.0), y_t(n_targets, 0.0);
-    std::vector<std::vector<double>> x_it(n_targets);
     for (std::size_t t = 0; t < n_targets; ++t) {
       // A relay lying about its background sends none at all, keeping the
       // capacity for the measurement.
       const double demand =
           targets[t].behavior == TargetBehavior::kLieAboutBackground
               ? 0.0
-              : targets[t].relay.background_demand_bits;
-      y_t[t] =
-          std::min(demand, targets[t].relay.ratio_r * relay_capacity[t]);
+              : targets[t].relay->background_demand_bits;
+      ws.y_t_[t] = std::min(
+          demand, targets[t].relay->ratio_r * ws.relay_capacity_[t]);
     }
 
-    std::vector<net::FairShareResource> resources(relay_resource_base +
-                                                  n_targets);
-    for (std::size_t h = 0; h < hosts.size(); ++h) {
-      const auto& host = topo_.host(hosts[h]);
-      resources[h].capacity = std::min(host.nic_up_bits, host.nic_down_bits);
-    }
     for (std::size_t t = 0; t < n_targets; ++t)
-      resources[relay_resource_base + t].capacity =
-          std::max(relay_capacity[t] - y_t[t], 0.0);
+      ws.resources_[relay_resource_base + t].capacity =
+          std::max(ws.relay_capacity_[t] - ws.y_t_[t], 0.0);
 
-    std::vector<net::FairShareFlow> flows;
-    std::vector<std::pair<std::size_t, std::size_t>> flow_ids;  // (t, i)
-    for (std::size_t t = 0; t < n_targets; ++t) {
-      for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
-        const auto& m = targets[t].team[i];
-        const double offered =
-            offered_rate(m, targets[t].host) * path_factor[t][i];
-        if (offered <= 0.0) continue;
-        net::FairShareFlow f;
-        f.resources = {host_resource(m.host), host_resource(targets[t].host),
-                       relay_resource_base + t};
-        f.weight = std::max(1, m.sockets);
-        f.cap = offered;
-        flows.push_back(std::move(f));
-        flow_ids.emplace_back(t, i);
-      }
-    }
-    const auto rates = net::max_min_fair_rates(resources, flows);
+    const auto rates = ws.solver_.solve_prepared(ws.resources_);
 
-    for (std::size_t t = 0; t < n_targets; ++t) {
-      x_t[t] = 0.0;
-      x_it[t].assign(targets[t].team.size(), 0.0);
-    }
-    for (std::size_t k = 0; k < flow_ids.size(); ++k) {
-      const auto [t, i] = flow_ids[k];
-      x_it[t][i] = rates[k];
-      x_t[t] += rates[k];
+    std::fill(ws.x_t_.begin(), ws.x_t_.end(), 0.0);
+    std::fill(ws.x_it_.begin(), ws.x_it_.end(), 0.0);
+    for (std::size_t k = 0; k < n_flows; ++k) {
+      const auto [t, i] = ws.flow_ids_[k];
+      ws.x_it_[ws.team_offset_[t] + i] = rates[k];
+      ws.x_t_[t] += rates[k];
     }
     // The forwarded background also satisfies the ratio rule against the
     // measurement traffic that actually materialized.
     for (std::size_t t = 0; t < n_targets; ++t) {
-      const auto& relay = targets[t].relay;
-      y_t[t] = std::min(y_t[t],
-                        x_t[t] * relay.ratio_r / (1.0 - relay.ratio_r));
+      const auto& relay = *targets[t].relay;
+      ws.y_t_[t] = std::min(
+          ws.y_t_[t], ws.x_t_[t] * relay.ratio_r / (1.0 - relay.ratio_r));
     }
 
-    // Record per-second outcomes.
+    // Record per-second outcomes (series were reserved at setup: these
+    // push_backs never reallocate).
     for (std::size_t t = 0; t < n_targets; ++t) {
       auto& out = outcomes[t];
       const auto& target = targets[t];
-      out.x_bits.push_back(x_t[t]);
+      out.x_bits.push_back(ws.x_t_[t]);
       for (std::size_t i = 0; i < target.team.size(); ++i)
-        out.x_by_measurer[i].push_back(x_it[t][i]);
+        out.x_by_measurer[i].push_back(ws.x_it_[ws.team_offset_[t] + i]);
 
-      double y_real = y_t[t];
+      double y_real = ws.y_t_[t];
       double y_reported = y_real;
       if (target.behavior == TargetBehavior::kLieAboutBackground) {
         // The liar forwards no background at all (keeping its capacity for
         // the measurement) but reports the maximum plausible amount.
-        y_reported = relay_capacity[t];
+        y_reported = ws.relay_capacity_[t];
       }
       out.y_reported_bits.push_back(y_reported);
       const double y_clamped =
-          clamp_background(y_reported, x_t[t], params_.ratio);
+          clamp_background(y_reported, ws.x_t_[t], params_.ratio);
       out.y_clamped_bits.push_back(y_clamped);
-      out.z_bits.push_back(x_t[t] + y_clamped);
+      out.z_bits.push_back(ws.x_t_[t] + y_clamped);
     }
   }
 

@@ -14,10 +14,13 @@
 // sampled spot check catches forgeries with probability 1-(1-p)^k.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/params.h"
+#include "net/fairshare.h"
 #include "net/topology.h"
 #include "sim/random.h"
 #include "tor/relay.h"
@@ -52,6 +55,60 @@ struct SlotOutcome {
 /// clamps reported background to x*r/(1-r) and sums.
 double clamp_background(double reported_y_bits, double x_bits, double ratio_r);
 
+/// Reusable scratch for SlotRunner::run_concurrent.
+///
+/// Owns every buffer the slot pipeline needs — flat SoA arrays for the
+/// per-target capacities and x/y/z accumulators, a stride-indexed
+/// per-(target, measurer) arena (path factors and the per-second x_ij
+/// rates), the host→resource index map, the hoisted fair-share flow set,
+/// and the fair-share solver's scratch. A workspace is filled during slot
+/// setup and then reused across all slot_seconds iterations: the
+/// per-second loop performs no heap allocation. Reusing one workspace
+/// across many slots (campaign worker threads hold one each) additionally
+/// amortizes the setup buffers to steady-state zero growth.
+///
+/// Results are bit-identical whether a workspace is fresh or reused; it is
+/// pure scratch, never carrying state between runs.
+class SlotWorkspace {
+ public:
+  SlotWorkspace() = default;
+  SlotWorkspace(const SlotWorkspace&) = delete;
+  SlotWorkspace& operator=(const SlotWorkspace&) = delete;
+  SlotWorkspace(SlotWorkspace&&) = default;
+  SlotWorkspace& operator=(SlotWorkspace&&) = default;
+
+ private:
+  friend class SlotRunner;
+
+  // Per-target state (size: n_targets).
+  std::vector<tor::RelayNoise> noise_;
+  std::vector<double> slot_factor_;
+  std::vector<int> sockets_at_target_;
+  std::vector<double> base_capacity_;   // ground_truth, hoisted per slot
+  std::vector<double> relay_capacity_;  // this second, noise applied
+  std::vector<double> x_t_;
+  std::vector<double> y_t_;
+  /// Arena offsets: target t's members live at [team_offset_[t],
+  /// team_offset_[t + 1]) in the per-member arenas below.
+  std::vector<std::size_t> team_offset_;
+
+  // Per-(target, measurer) arenas, stride-indexed via team_offset_.
+  std::vector<double> path_factor_;
+  std::vector<double> x_it_;
+
+  // Shared-resource model, built once per slot.
+  std::vector<net::HostId> hosts_;  // de-duplicated measurer + target hosts
+  std::vector<net::FairShareResource> resources_;
+  /// Hoisted flow set: offered rates, weights and resource triples are
+  /// second-invariant (only the relay resource capacities change), so the
+  /// flows are built once per slot. flows_/flow_ids_ never shrink — the
+  /// live prefix is tracked separately so inner vectors keep their
+  /// capacity across slots.
+  std::vector<net::FairShareFlow> flows_;
+  std::vector<std::pair<std::size_t, std::size_t>> flow_ids_;  // (t, i)
+  net::FairShareSolver solver_;
+};
+
 /// Runs one measurement slot against a single target.
 ///
 /// The per-measurer offered rate each second is
@@ -69,14 +126,30 @@ class SlotRunner {
 
   /// Targets measured concurrently share measurer NICs and (when co-hosted)
   /// the target host's NIC (Appendix F). Outcomes align with `targets`.
+  ///
+  /// The relay model is borrowed, not copied: campaign workers build a
+  /// target list per slot, and deep-copying every RelayModel (name string,
+  /// CPU/scheduler models) per slot was measurable at full-network scale.
+  /// The pointed-to model must outlive the run_concurrent call.
   struct ConcurrentTarget {
-    tor::RelayModel relay;
+    const tor::RelayModel* relay = nullptr;
     net::HostId host = 0;
     std::vector<MeasurerSlot> team;
     TargetBehavior behavior = TargetBehavior::kHonest;
+    /// Optional precomputed sim::hash_tag(relay->name): lets long-running
+    /// callers skip re-hashing the relay name every slot when forking the
+    /// per-target noise substream. 0 means "hash on demand". Either path
+    /// derives the identical substream seed.
+    std::uint64_t name_hash = 0;
   };
   std::vector<SlotOutcome> run_concurrent(
       std::span<const ConcurrentTarget> targets);
+  /// Same, but with caller-owned scratch: a campaign worker thread keeps
+  /// one SlotWorkspace for its lifetime so steady-state slots allocate
+  /// (almost) nothing. The single-argument overload reuses a runner-owned
+  /// workspace across calls.
+  std::vector<SlotOutcome> run_concurrent(
+      std::span<const ConcurrentTarget> targets, SlotWorkspace& ws);
 
   /// Offered measurement rate from one measurer toward a target host,
   /// before NIC contention (exposed for the Appendix E.1 socket sweep).
@@ -86,6 +159,7 @@ class SlotRunner {
   const net::Topology& topo_;
   Params params_;
   sim::Rng rng_;
+  SlotWorkspace scratch_;  // backs the workspace-less run_concurrent
 };
 
 }  // namespace flashflow::core

@@ -6,113 +6,162 @@
 
 namespace flashflow::net {
 
-std::vector<double> max_min_fair_rates(
-    const std::vector<FairShareResource>& resources,
-    const std::vector<FairShareFlow>& flows) {
-  const std::size_t num_flows = flows.size();
-  const std::size_t num_resources = resources.size();
+// Progressive filling over index lists: `active_` holds the unfrozen flows
+// (ascending, compacted in place as flows freeze), `finite_res_` the
+// capacity-constrained resources, and `res_index_`/`res_offset_` a flat
+// copy of the flow→resource lists, so each filling iteration runs four
+// tight passes over state that can still bind. The arithmetic — which
+// values are summed, subtracted and min'd, and in which order — is
+// identical to the obvious scan-everything formulation, so allocations are
+// bit-identical to it (tests/test_golden_determinism.cpp relies on this).
 
-  std::vector<double> rates(num_flows, 0.0);
-  std::vector<bool> frozen(num_flows, false);
-  std::vector<double> remaining(num_resources);
-  for (std::size_t r = 0; r < num_resources; ++r) {
-    remaining[r] = resources[r].capacity > 0
-                       ? resources[r].capacity
-                       : std::numeric_limits<double>::infinity();
-  }
-  // Weight of active flows at each resource.
-  std::vector<double> active_weight(num_resources, 0.0);
-  for (std::size_t f = 0; f < num_flows; ++f) {
+void FairShareSolver::prepare(std::span<const FairShareFlow> flows,
+                              std::size_t num_resources) {
+  // Invalidate first: a validation throw below must not leave a half-built
+  // flow set that a later solve_prepared would index out of bounds.
+  prepared_ = false;
+  num_flows_ = flows.size();
+  num_resources_ = num_resources;
+  weights_.resize(num_flows_);
+  caps_.resize(num_flows_);
+  res_offset_.resize(num_flows_ + 1);
+  res_index_.clear();
+  // Weight of active flows at each resource. Summed over every flow in
+  // index order (zero-cap flows are subtracted back out below, not
+  // skipped): floating-point addition order is part of the contract.
+  active_weight_base_.assign(num_resources, 0.0);
+  res_offset_[0] = 0;
+  for (std::size_t f = 0; f < num_flows_; ++f) {
     if (flows[f].weight <= 0.0)
       throw std::invalid_argument("max_min_fair_rates: non-positive weight");
+    weights_[f] = flows[f].weight;
+    caps_[f] = flows[f].cap;
     for (const std::size_t r : flows[f].resources) {
       if (r >= num_resources)
         throw std::out_of_range("max_min_fair_rates: bad resource index");
-      active_weight[r] += flows[f].weight;
+      res_index_.push_back(r);
+      active_weight_base_[r] += flows[f].weight;
+    }
+    res_offset_[f + 1] = res_index_.size();
+  }
+  // Flows with an immediate zero cap freeze straight away; fold both their
+  // exclusion and their weight removal into the prepared baseline.
+  active_init_.clear();
+  for (std::size_t f = 0; f < num_flows_; ++f) {
+    if (caps_[f] <= 0.0) {
+      for (std::size_t k = res_offset_[f]; k < res_offset_[f + 1]; ++k)
+        active_weight_base_[res_index_[k]] -= weights_[f];
+    } else {
+      active_init_.push_back(f);
     }
   }
+  // Saturation stamps never reset: only a stamp written during the current
+  // iteration (== epoch_) counts, so growing the vector with zeroes is the
+  // only maintenance reuse needs.
+  if (saturated_at_.size() < num_resources)
+    saturated_at_.resize(num_resources, 0);
+  prepared_ = true;
+}
 
-  std::size_t active_flows = num_flows;
-  // Flows with an immediate zero cap freeze straight away.
-  for (std::size_t f = 0; f < num_flows; ++f) {
-    if (flows[f].cap <= 0.0) {
-      frozen[f] = true;
-      --active_flows;
-      for (const std::size_t r : flows[f].resources)
-        active_weight[r] -= flows[f].weight;
-    }
+std::span<const double> FairShareSolver::solve_prepared(
+    std::span<const FairShareResource> resources) {
+  if (!prepared_)
+    throw std::logic_error(
+        "FairShareSolver: solve_prepared without a successful prepare");
+  if (resources.size() != num_resources_)
+    throw std::invalid_argument(
+        "FairShareSolver: resources size changed since prepare");
+
+  rates_.assign(num_flows_, 0.0);
+  remaining_.resize(num_resources_);
+  finite_res_.clear();
+  for (std::size_t r = 0; r < num_resources_; ++r) {
+    remaining_[r] = resources[r].capacity > 0
+                        ? resources[r].capacity
+                        : std::numeric_limits<double>::infinity();
+    if (std::isfinite(remaining_[r])) finite_res_.push_back(r);
   }
+  active_weight_.assign(active_weight_base_.begin(),
+                        active_weight_base_.end());
+  active_.assign(active_init_.begin(), active_init_.end());
 
   constexpr double kEps = 1e-9;
-  while (active_flows > 0) {
-    // Largest uniform per-weight increment before a resource saturates or a
-    // flow reaches its cap.
+  while (!active_.empty()) {
+    // Pass 1+2: largest uniform per-weight increment before a resource
+    // saturates or a flow reaches its cap.
     double step = std::numeric_limits<double>::infinity();
-    for (std::size_t r = 0; r < num_resources; ++r) {
-      if (active_weight[r] > kEps && std::isfinite(remaining[r]))
-        step = std::min(step, remaining[r] / active_weight[r]);
+    for (const std::size_t r : finite_res_) {
+      if (active_weight_[r] > kEps)
+        step = std::min(step, remaining_[r] / active_weight_[r]);
     }
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (!frozen[f] && std::isfinite(flows[f].cap))
-        step = std::min(step, (flows[f].cap - rates[f]) / flows[f].weight);
+    for (const std::size_t f : active_) {
+      if (std::isfinite(caps_[f]))
+        step = std::min(step, (caps_[f] - rates_[f]) / weights_[f]);
     }
     if (!std::isfinite(step)) {
       // No binding constraint: remaining flows are unconstrained. Assign an
       // effectively unbounded rate; callers treat it as "not the bottleneck".
-      for (std::size_t f = 0; f < num_flows; ++f)
-        if (!frozen[f]) rates[f] = std::numeric_limits<double>::infinity();
+      for (const std::size_t f : active_)
+        rates_[f] = std::numeric_limits<double>::infinity();
       break;
     }
     step = std::max(step, 0.0);
 
-    // Advance all active flows by step * weight.
-    for (std::size_t f = 0; f < num_flows; ++f)
-      if (!frozen[f]) rates[f] += step * flows[f].weight;
-    for (std::size_t r = 0; r < num_resources; ++r)
-      if (std::isfinite(remaining[r])) remaining[r] -= step * active_weight[r];
+    // Pass 3: drain resources and stamp the ones this step saturated.
+    ++epoch_;
+    for (const std::size_t r : finite_res_) {
+      remaining_[r] -= step * active_weight_[r];
+      if (remaining_[r] <= kEps && active_weight_[r] > kEps)
+        saturated_at_[r] = epoch_;
+    }
 
-    // Freeze flows at saturated resources or at their caps.
-    std::vector<bool> saturated(num_resources, false);
-    for (std::size_t r = 0; r < num_resources; ++r)
-      if (std::isfinite(remaining[r]) && remaining[r] <= kEps &&
-          active_weight[r] > kEps)
-        saturated[r] = true;
-
-    bool any_frozen = false;
-    for (std::size_t f = 0; f < num_flows; ++f) {
-      if (frozen[f]) continue;
-      bool freeze = rates[f] >= flows[f].cap - kEps;
+    // Pass 4: advance every active flow, freeze those at saturated
+    // resources or at their caps, compacting the active list in place
+    // (ascending order preserved).
+    std::size_t kept = 0;
+    for (const std::size_t f : active_) {
+      rates_[f] += step * weights_[f];
+      bool freeze = rates_[f] >= caps_[f] - kEps;
       if (!freeze)
-        for (const std::size_t r : flows[f].resources)
-          if (saturated[r]) {
+        for (std::size_t k = res_offset_[f]; k < res_offset_[f + 1]; ++k)
+          if (saturated_at_[res_index_[k]] == epoch_) {
             freeze = true;
             break;
           }
       if (freeze) {
-        frozen[f] = true;
-        --active_flows;
-        any_frozen = true;
-        for (const std::size_t r : flows[f].resources)
-          active_weight[r] -= flows[f].weight;
+        for (std::size_t k = res_offset_[f]; k < res_offset_[f + 1]; ++k)
+          active_weight_[res_index_[k]] -= weights_[f];
+      } else {
+        active_[kept++] = f;
       }
     }
-    if (!any_frozen) {
-      // Numerical safety: freeze the flow closest to a constraint so the
-      // loop always terminates.
-      std::size_t best = num_flows;
-      for (std::size_t f = 0; f < num_flows; ++f)
-        if (!frozen[f]) {
-          best = f;
-          break;
-        }
-      if (best == num_flows) break;
-      frozen[best] = true;
-      --active_flows;
-      for (const std::size_t r : flows[best].resources)
-        active_weight[r] -= flows[best].weight;
+    if (kept < active_.size()) {
+      active_.resize(kept);
+      continue;
     }
+    // Numerical safety: freeze the flow closest to a constraint (the
+    // lowest-indexed active one) so the loop always terminates.
+    const std::size_t best = active_.front();
+    for (std::size_t k = res_offset_[best]; k < res_offset_[best + 1]; ++k)
+      active_weight_[res_index_[k]] -= weights_[best];
+    active_.erase(active_.begin());
   }
-  return rates;
+  return {rates_.data(), num_flows_};
+}
+
+std::span<const double> FairShareSolver::solve(
+    std::span<const FairShareResource> resources,
+    std::span<const FairShareFlow> flows) {
+  prepare(flows, resources.size());
+  return solve_prepared(resources);
+}
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<FairShareResource>& resources,
+    const std::vector<FairShareFlow>& flows) {
+  FairShareSolver solver;
+  const auto rates = solver.solve(resources, flows);
+  return {rates.begin(), rates.end()};
 }
 
 }  // namespace flashflow::net

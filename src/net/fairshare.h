@@ -8,9 +8,19 @@
 //
 // This is the standard fluid approximation of TCP bandwidth sharing used by
 // flow-level network simulators.
+//
+// Two entry points:
+//   - FairShareSolver::solve(): owns all solver scratch across calls, so
+//     per-second simulation loops (core::SlotRunner) allocate nothing after
+//     warm-up. Resource saturation is tracked with an epoch counter instead
+//     of a per-iteration flag vector.
+//   - max_min_fair_rates(): one-shot convenience wrapper over a fresh
+//     solver, returning an owned vector.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace flashflow::net {
@@ -25,12 +35,77 @@ struct FairShareFlow {
   double cap = std::numeric_limits<double>::infinity();  // bits/s
 };
 
-/// Returns per-flow rates in bits/s. Guarantees:
-///   - no resource's total allocated rate exceeds its capacity (within eps);
-///   - no flow exceeds its cap;
-///   - the allocation is weighted max-min fair (no flow's rate can increase
-///     without decreasing that of a flow with an equal-or-smaller
-///     rate-to-weight ratio).
+/// Progressive-filling solver with reusable scratch. Successive solves are
+/// bit-identical to fresh ones (the algorithm never reads stale state), so
+/// one solver instance can serve a whole simulation loop.
+class FairShareSolver {
+ public:
+  /// Returns per-flow rates in bits/s. Guarantees:
+  ///   - no resource's total allocated rate exceeds its capacity (within
+  ///     eps);
+  ///   - no flow exceeds its cap;
+  ///   - the allocation is weighted max-min fair (no flow's rate can
+  ///     increase without decreasing that of a flow with an
+  ///     equal-or-smaller rate-to-weight ratio).
+  ///
+  /// The returned span aliases solver-owned storage and is invalidated by
+  /// the next solve() call; copy it out to keep it.
+  std::span<const double> solve(std::span<const FairShareResource> resources,
+                                std::span<const FairShareFlow> flows);
+
+  /// Preprocesses a flow set for repeated solves against varying resource
+  /// capacities (the per-second slot loop: flows are slot invariants, only
+  /// relay capacities change). Validates the flows, flattens their
+  /// resource lists and precomputes the initial active-weight table.
+  /// `num_resources` must equal the size of every resources span later
+  /// passed to solve_prepared. The flow data is copied: the span may die
+  /// after prepare returns.
+  void prepare(std::span<const FairShareFlow> flows,
+               std::size_t num_resources);
+
+  /// Solves the prepared flow set; bit-identical to solve(resources,
+  /// flows) with the flows passed to prepare(). Same span-invalidation
+  /// rule as solve().
+  std::span<const double> solve_prepared(
+      std::span<const FairShareResource> resources);
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> weights_;  // SoA copies of the flow weight/cap
+  std::vector<double> caps_;     //   fields for cache-friendly scans
+  /// Flow→resource lists flattened into one arena: flow f's resources are
+  /// res_index_[res_offset_[f] .. res_offset_[f + 1]), replacing a pointer
+  /// chase through each FairShareFlow's vector in the filling iterations.
+  std::vector<std::size_t> res_index_;
+  std::vector<std::size_t> res_offset_;
+  /// Unfrozen flow indices in ascending order; compacted in place as flows
+  /// freeze so every filling iteration scans only what is still active.
+  std::vector<std::size_t> active_;
+  /// prepare() products: the flow set size, the active list and per-
+  /// resource weight totals before any filling (zero-cap flows already
+  /// subtracted), copied into the working vectors by each solve_prepared.
+  /// prepared_ is false until a prepare() run completes, so a validation
+  /// throw mid-prepare cannot be followed by a solve over half-built state.
+  bool prepared_ = false;
+  std::size_t num_flows_ = 0;
+  std::size_t num_resources_ = 0;
+  std::vector<std::size_t> active_init_;
+  std::vector<double> active_weight_base_;
+  std::vector<double> remaining_;  // per-resource capacity left
+  std::vector<double> active_weight_;
+  /// Indices of capacity-constrained resources (finite remaining); the
+  /// unconstrained ones can never bind, so iterations skip them entirely.
+  std::vector<std::size_t> finite_res_;
+  /// Epoch stamp per resource: "saturated this filling iteration" is
+  /// saturated_at_[r] == epoch_, replacing the per-iteration flag vector
+  /// the one-shot implementation used to allocate. epoch_ only ever
+  /// increases, so stale stamps from earlier solves never read as current.
+  std::vector<std::uint64_t> saturated_at_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// One-shot convenience wrapper: solves with a fresh FairShareSolver and
+/// copies the rates out. Prefer a reused solver in per-second loops.
 std::vector<double> max_min_fair_rates(
     const std::vector<FairShareResource>& resources,
     const std::vector<FairShareFlow>& flows);

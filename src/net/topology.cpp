@@ -9,19 +9,31 @@ namespace flashflow::net {
 HostId Topology::add_host(Host host) {
   const HostId id = hosts_.size();
   hosts_.push_back(std::move(host));
-  const std::size_t n = hosts_.size();
-  // Grow the matrices, preserving existing entries.
-  const auto grow = [n](std::vector<double>& m) {
-    std::vector<double> next(n * n, 0.0);
-    for (std::size_t a = 0; a + 1 < n; ++a)
-      for (std::size_t b = 0; b + 1 < n; ++b)
-        next[a * n + b] = m[a * (n - 1) + b];
+  // Geometric growth keeps unreserved host-by-host construction linear in
+  // matrix traffic overall instead of re-laying three n x n matrices out
+  // on every insertion.
+  if (hosts_.size() > dim_)
+    grow_matrices(std::max(hosts_.size(), dim_ * 2));
+  return id;
+}
+
+void Topology::reserve_hosts(std::size_t n) {
+  if (n > dim_) grow_matrices(n);
+}
+
+void Topology::grow_matrices(std::size_t dim) {
+  const std::size_t old_dim = dim_;
+  const auto grow = [dim, old_dim](std::vector<double>& m) {
+    std::vector<double> next(dim * dim, 0.0);
+    for (std::size_t a = 0; a < old_dim; ++a)
+      for (std::size_t b = 0; b < old_dim; ++b)
+        next[a * dim + b] = m[a * old_dim + b];
     m = std::move(next);
   };
   grow(rtt_);
   grow(loss_);
   grow(loaded_loss_);
-  return id;
+  dim_ = dim;
 }
 
 void Topology::set_path(HostId a, HostId b, double rtt_s, double loss_rate,
@@ -64,7 +76,7 @@ double Topology::loaded_loss(HostId a, HostId b) const {
 std::size_t Topology::index(HostId a, HostId b) const {
   if (a >= hosts_.size() || b >= hosts_.size())
     throw std::out_of_range("Topology: bad host id");
-  return a * hosts_.size() + b;
+  return a * dim_ + b;
 }
 
 const std::vector<std::string>& table1_host_names() {

@@ -36,6 +36,13 @@ class Topology {
   /// Adds a host; returns its id.
   HostId add_host(Host host);
 
+  /// Presizes the path matrices for `n` hosts. add_host reallocates the
+  /// three dense n x n matrices whenever the host count outgrows them, so
+  /// building a large topology host-by-host without reserving is
+  /// quadratic in memory traffic per insertion; callers that know the
+  /// final host count (scenario materialization) should reserve up front.
+  void reserve_hosts(std::size_t n);
+
   /// Sets symmetric path characteristics between two hosts.
   ///
   /// `loss_rate` is the clean-path loss seen by a lone well-paced stream
@@ -58,10 +65,15 @@ class Topology {
 
  private:
   std::size_t index(HostId a, HostId b) const;
+  /// Re-lays the matrices out for `dim` hosts, preserving entries.
+  void grow_matrices(std::size_t dim);
   std::vector<Host> hosts_;
-  std::vector<double> rtt_;          // row-major host_count x host_count
-  std::vector<double> loss_;         // same layout
-  std::vector<double> loaded_loss_;  // same layout
+  /// Allocated matrix dimension (>= host_count); the matrices are row-major
+  /// dim_ x dim_ so insertions within a reservation never re-lay them out.
+  std::size_t dim_ = 0;
+  std::vector<double> rtt_;
+  std::vector<double> loss_;
+  std::vector<double> loaded_loss_;
 };
 
 /// Builds the paper's Table 1 vantage points: US-SW (Fremont, CA),

@@ -283,7 +283,11 @@ MaterializedScenario materialize(const ScenarioSpec& spec) {
     // Measurer hosts first (ids 0..m-1), then one host per relay, all on a
     // flat low-latency mesh. NOTE: the topology's path matrices are dense,
     // so materializing very large synthetic populations is memory-heavy —
-    // use Scenario::plan() for schedule-only studies at the §7 scale.
+    // use Scenario::plan() for schedule-only studies when only the packing
+    // matters. The reservation sizes the matrices once; without it every
+    // add_host re-lays three n x n matrices out.
+    mat.topology.reserve_hosts(spec.team.capacity_bits.size() +
+                               capacities.size());
     for (std::size_t i = 0; i < spec.team.capacity_bits.size(); ++i) {
       net::Host host;
       host.name = "measurer-" + std::to_string(i);

@@ -48,6 +48,7 @@ ShadowNet make_shadow_net(const ShadowNetParams& params, std::uint64_t seed) {
 
 net::Topology shadow_topology(const ShadowNet& net) {
   net::Topology topo;
+  topo.reserve_hosts(3 + net.relays.size());
   // Three 1 Gbit/s measurers (§7), placed in distinct regions.
   const std::array<Region, 3> measurer_regions = {
       Region::kNaEast, Region::kEurope, Region::kNaWest};

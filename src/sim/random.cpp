@@ -14,7 +14,11 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }
 
 std::uint64_t hash_tag(std::string_view tag) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  return hash_tag(tag, 0xcbf29ce484222325ULL);
+}
+
+std::uint64_t hash_tag(std::string_view tag, std::uint64_t basis) {
+  std::uint64_t h = basis;
   for (const char c : tag) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
@@ -46,10 +50,12 @@ Rng::result_type Rng::operator()() {
   return result;
 }
 
-Rng Rng::fork(std::string_view tag) const {
+Rng Rng::fork(std::string_view tag) const { return fork(hash_tag(tag)); }
+
+Rng Rng::fork(std::uint64_t tag_hash) const {
   // Combine current state with the tag hash; the copy advances so forks from
   // the same parent with different tags are independent.
-  std::uint64_t seed = state_[0] ^ rotl(state_[3], 13) ^ hash_tag(tag);
+  std::uint64_t seed = state_[0] ^ rotl(state_[3], 13) ^ tag_hash;
   return Rng(seed);
 }
 

@@ -36,6 +36,12 @@ class Rng {
   /// component does not perturb the draws seen by others.
   Rng fork(std::string_view tag) const;
 
+  /// Hash-tag fork: identical to fork(tag) when `tag_hash == hash_tag(tag)`,
+  /// but takes the precomputed hash so hot loops can fork per-component
+  /// substreams without building a tag string (see hash_tag's basis
+  /// overload for composing "name/suffix" tags incrementally).
+  Rng fork(std::uint64_t tag_hash) const;
+
   /// Uniform double in [0, 1).
   double uniform();
   /// Uniform double in [lo, hi).
@@ -79,5 +85,11 @@ std::uint64_t splitmix64(std::uint64_t& state);
 
 /// Stable 64-bit FNV-1a hash of a string, for deriving substream seeds.
 std::uint64_t hash_tag(std::string_view tag);
+
+/// Continues an FNV-1a hash from `basis` (a previous hash_tag result), so
+/// hash_tag(b, hash_tag(a)) == hash_tag(a + b) without concatenating. Lets
+/// hot paths precompute the hash of a stable prefix (e.g. a relay name)
+/// and append a suffix tag per use with no string allocation.
+std::uint64_t hash_tag(std::string_view tag, std::uint64_t basis);
 
 }  // namespace flashflow::sim

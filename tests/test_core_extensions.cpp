@@ -105,15 +105,21 @@ TEST(DynamicWeights, RejectsBadParams) {
 
 // ------------------------------------------------------------------ family
 
-SlotRunner::ConcurrentTarget family_member(const net::Topology& topo,
-                                           const std::string& name,
-                                           double machine_mbit) {
-  SlotRunner::ConcurrentTarget t;
-  t.relay.name = name;
+tor::RelayModel family_relay(const std::string& name, double machine_mbit) {
+  tor::RelayModel relay;
+  relay.name = name;
   // The relay's own software could forward the whole machine capacity.
-  t.relay.nic_up_bits = t.relay.nic_down_bits = net::mbit(machine_mbit);
-  t.relay.cpu.base_bits =
-      net::mbit(machine_mbit) * (1.0 + t.relay.cpu.per_socket_overhead * 80);
+  relay.nic_up_bits = relay.nic_down_bits = net::mbit(machine_mbit);
+  relay.cpu.base_bits =
+      net::mbit(machine_mbit) * (1.0 + relay.cpu.per_socket_overhead * 80);
+  return relay;
+}
+
+// ConcurrentTarget borrows its RelayModel: `relay` must outlive the target.
+SlotRunner::ConcurrentTarget family_member(const net::Topology& topo,
+                                           const tor::RelayModel& relay) {
+  SlotRunner::ConcurrentTarget t;
+  t.relay = &relay;
   t.host = topo.find("US-SW");  // same machine: shared host NIC
   t.team = {{topo.find("US-E"), net::mbit(700), 40},
             {topo.find("NL"), net::mbit(700), 40}};
@@ -125,9 +131,10 @@ TEST(Family, CoLocatedSybilsDetected) {
   Params params;
   // Two Sybils on one 954 Mbit/s machine; measured separately, each had
   // demonstrated (nearly) the full machine: individual estimates ~850.
+  const tor::RelayModel sybil_a = family_relay("sybil-a", 950);
+  const tor::RelayModel sybil_b = family_relay("sybil-b", 950);
   std::vector<SlotRunner::ConcurrentTarget> members = {
-      family_member(topo, "sybil-a", 950),
-      family_member(topo, "sybil-b", 950)};
+      family_member(topo, sybil_a), family_member(topo, sybil_b)};
   const std::vector<double> individual = {net::mbit(850), net::mbit(850)};
   const auto result =
       measure_family(topo, params, members, individual, {}, 5);
@@ -143,9 +150,10 @@ TEST(Family, IndependentRelaysNotFlagged) {
   const auto topo = net::make_table1_hosts();
   Params params;
   // Two genuinely separate machines (different hosts).
+  const tor::RelayModel relay_a = family_relay("relay-a", 400);
+  const tor::RelayModel relay_b = family_relay("relay-b", 400);
   std::vector<SlotRunner::ConcurrentTarget> members = {
-      family_member(topo, "relay-a", 400),
-      family_member(topo, "relay-b", 400)};
+      family_member(topo, relay_a), family_member(topo, relay_b)};
   members[1].host = topo.find("US-NW");  // different machine
   const std::vector<double> individual = {net::mbit(380), net::mbit(380)};
   const auto result =

@@ -154,19 +154,21 @@ TEST(SlotRunner, ConcurrentTargetsShareMeasurers) {
   Params params;
   SlotRunner runner(topo, params, sim::Rng(8));
   // Appendix F: two 400 Mbit/s relays on US-SW measured by US-E + NL.
+  // ConcurrentTarget borrows the relay model, so the models live here.
+  std::vector<tor::RelayModel> models(2, us_sw_relay(400));
+  models[0].name = "r0";
+  models[1].name = "r1";
   std::vector<SlotRunner::ConcurrentTarget> targets(2);
-  for (auto& t : targets) {
-    t.relay = us_sw_relay(400);
-    t.host = topo.find("US-SW");
-    t.team = {{topo.find("US-E"), net::mbit(600), 40},
-              {topo.find("NL"), net::mbit(600), 40}};
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    targets[i].relay = &models[i];
+    targets[i].host = topo.find("US-SW");
+    targets[i].team = {{topo.find("US-E"), net::mbit(600), 40},
+                       {topo.find("NL"), net::mbit(600), 40}};
   }
-  targets[0].relay.name = "r0";
-  targets[1].relay.name = "r1";
   const auto outs = runner.run_concurrent(targets);
   ASSERT_EQ(outs.size(), 2u);
   for (const auto& out : outs) {
-    const double gt = targets[0].relay.ground_truth(80);
+    const double gt = models[0].ground_truth(80);
     EXPECT_GT(out.estimate_bits, gt * 0.75);
     EXPECT_LT(out.estimate_bits, gt * 1.06);
   }

@@ -1,0 +1,107 @@
+// Golden-hash regression tests for the measurement hot path.
+//
+// The campaign engine promises bit-identical output for a fixed (population,
+// config, seed) regardless of thread count — and the hot-path code
+// (core::SlotRunner, net::FairShareSolver, the campaign worker loop) is
+// explicitly required to preserve results when it is restructured for
+// speed. These tests pin the full streamed CsvSink byte stream of two fixed
+// scenarios to FNV-1a hashes recorded from the pre-workspace-refactor
+// implementation, so any future hot-path change that silently shifts
+// results (an extra RNG draw, a reordered flow, a float reassociation)
+// fails loudly here rather than drifting the paper reproductions.
+//
+// If a change *intends* to alter results, re-record the constants from a
+// trusted build (the failure message prints the new hash) and justify the
+// shift in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/sink.h"
+#include "net/units.h"
+#include "scenario/scenario.h"
+#include "sim/random.h"
+#include "tor/cpu_model.h"
+
+namespace flashflow {
+namespace {
+
+// Recorded from the pre-refactor hot path (PR 3 state) with seed 20210613.
+constexpr std::uint64_t kCampaignCsvHash = 0xfa6d28d9b29064c3ULL;
+constexpr std::uint64_t kScenarioCsvHash = 0x841c72e6038a41a5ULL;
+
+std::string campaign_csv(int threads) {
+  const auto topo = net::make_table1_hosts();
+  std::vector<campaign::CampaignRelay> relays;
+  for (const double limit : {10, 25, 50, 75, 100, 150, 200, 250, 40, 120}) {
+    campaign::CampaignRelay r;
+    r.model.name = "relay-" + std::to_string(static_cast<int>(limit));
+    r.model.nic_up_bits = r.model.nic_down_bits = net::mbit(954);
+    r.model.rate_limit_bits = net::mbit(limit);
+    r.model.cpu = tor::CpuModel::us_sw();
+    r.host = topo.find("US-SW");
+    relays.push_back(std::move(r));
+  }
+
+  campaign::CampaignConfig config;
+  config.measurer_hosts = {topo.find("US-E"), topo.find("NL")};
+  config.measurer_capacity_bits = {net::mbit(900), net::mbit(900)};
+  config.seed = 20210613;
+  config.threads = threads;
+
+  std::ostringstream out;
+  campaign::CsvSink sink(out);
+  campaign::CampaignRunner(topo, config).run(relays, sink);
+  return out.str();
+}
+
+std::string scenario_csv(int threads) {
+  // Covers the scenario materialization path on top of the campaign
+  // engine: synthetic population, adversary mix, background model, and the
+  // randomized §4.3 schedule.
+  analysis::PopulationParams pop;
+  pop.lognormal_mu = 17.0;
+  pop.lognormal_sigma = 1.2;
+  pop.max_capacity_bits = 900e6;
+  const scenario::Scenario scenario(
+      scenario::ScenarioBuilder("golden")
+          .synthetic(pop, 40, /*prior_fraction=*/0.8)
+          .measurer_capacities({net::mbit(800), net::mbit(800),
+                                net::mbit(800)})
+          .liars(0.10)
+          .forgers(0.10)
+          .background_utilization(0.2, 0.1)
+          .schedule(campaign::ScheduleMode::kRandomized)
+          .threads(threads)
+          .seed(20210613)
+          .build());
+  std::ostringstream out;
+  campaign::CsvSink sink(out);
+  scenario.run(sink);
+  return out.str();
+}
+
+TEST(GoldenDeterminism, CampaignCsvBytesMatchRecordedBaseline) {
+  const std::string csv = campaign_csv(/*threads=*/1);
+  EXPECT_EQ(sim::hash_tag(csv), kCampaignCsvHash)
+      << "campaign CSV bytes shifted; new hash 0x" << std::hex
+      << sim::hash_tag(csv) << " over " << std::dec << csv.size()
+      << " bytes. Hot-path changes must be bit-identical.";
+  // The golden bytes are also thread-count independent.
+  EXPECT_EQ(csv, campaign_csv(/*threads=*/8));
+}
+
+TEST(GoldenDeterminism, ScenarioCsvBytesMatchRecordedBaseline) {
+  const std::string csv = scenario_csv(/*threads=*/1);
+  EXPECT_EQ(sim::hash_tag(csv), kScenarioCsvHash)
+      << "scenario CSV bytes shifted; new hash 0x" << std::hex
+      << sim::hash_tag(csv) << " over " << std::dec << csv.size()
+      << " bytes. Hot-path changes must be bit-identical.";
+  EXPECT_EQ(csv, scenario_csv(/*threads=*/8));
+}
+
+}  // namespace
+}  // namespace flashflow

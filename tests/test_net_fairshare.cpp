@@ -111,6 +111,131 @@ TEST(FairShare, EmptyFlowsOk) {
   EXPECT_TRUE(max_min_fair_rates(res, {}).empty());
 }
 
+// --------------------------- solver reuse ---------------------------------
+
+TEST(FairShareSolver, ReusedSolverMatchesFreshSolves) {
+  // Two successive solves on one solver must equal two fresh solves: the
+  // scratch (frozen/remaining/active_weight/saturation epochs) never leaks
+  // state between calls. The second problem is shaped to stress stale
+  // state: more flows and resources than the first, then fewer.
+  const std::vector<FairShareResource> res_a = {{100.0}, {60.0}};
+  std::vector<FairShareFlow> flows_a(3);
+  flows_a[0].resources = {0, 1};
+  flows_a[1].resources = {0};
+  flows_a[1].cap = 12.0;
+  flows_a[2].resources = {1};
+  flows_a[2].weight = 2.0;
+
+  const std::vector<FairShareResource> res_b = {{50.0}, {80.0}, {10.0}};
+  std::vector<FairShareFlow> flows_b(5);
+  for (std::size_t f = 0; f < flows_b.size(); ++f)
+    flows_b[f].resources = {f % 3};
+  flows_b[4].resources = {0, 1, 2};
+  flows_b[1].cap = 0.0;  // frozen immediately
+
+  const std::vector<FairShareResource> res_c = {{7.0}};
+  std::vector<FairShareFlow> flows_c(1);
+  flows_c[0].resources = {0};
+
+  FairShareSolver reused;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [res, flows] :
+         {std::pair(&res_a, &flows_a), std::pair(&res_b, &flows_b),
+          std::pair(&res_c, &flows_c)}) {
+      const auto from_reused = reused.solve(*res, *flows);
+      const auto fresh = max_min_fair_rates(*res, *flows);
+      ASSERT_EQ(from_reused.size(), fresh.size());
+      for (std::size_t f = 0; f < fresh.size(); ++f)
+        EXPECT_DOUBLE_EQ(from_reused[f], fresh[f]) << "flow " << f;
+    }
+  }
+}
+
+TEST(FairShareSolver, PreparedSolvesMatchOneShot) {
+  // prepare() + repeated solve_prepared() against varying capacities (the
+  // per-second slot pattern) must equal a fresh solve per capacity set.
+  std::vector<FairShareFlow> flows(4);
+  flows[0].resources = {0, 2};
+  flows[0].weight = 2.0;
+  flows[1].resources = {0, 1};
+  flows[1].cap = 15.0;
+  flows[2].resources = {1, 2};
+  flows[2].cap = 0.0;  // frozen at prepare time
+  flows[3].resources = {2};
+
+  FairShareSolver solver;
+  solver.prepare(flows, 3);
+  for (const double relay_cap : {40.0, 5.0, 0.0, 123.456}) {
+    const std::vector<FairShareResource> res = {
+        {100.0}, {30.0}, {relay_cap}};
+    const auto prepared = solver.solve_prepared(res);
+    const auto fresh = max_min_fair_rates(res, flows);
+    ASSERT_EQ(prepared.size(), fresh.size());
+    for (std::size_t f = 0; f < fresh.size(); ++f)
+      EXPECT_DOUBLE_EQ(prepared[f], fresh[f])
+          << "flow " << f << " at relay_cap " << relay_cap;
+  }
+  // A mismatched resource count is a caller bug, not a silent misread.
+  const std::vector<FairShareResource> wrong = {{1.0}};
+  EXPECT_THROW(solver.solve_prepared(wrong), std::invalid_argument);
+}
+
+TEST(FairShareSolver, FailedPrepareInvalidatesPreparedState) {
+  // A prepare() that throws mid-validation must not leave a half-built
+  // flow set behind: solve_prepared afterwards fails cleanly instead of
+  // indexing stale state, and solve_prepared before any prepare at all is
+  // rejected too.
+  FairShareSolver solver;
+  const std::vector<FairShareResource> res = {{10.0}, {20.0}};
+  EXPECT_THROW(solver.solve_prepared(res), std::logic_error);
+
+  std::vector<FairShareFlow> good(5);
+  for (auto& f : good) f.resources = {0};
+  solver.prepare(good, res.size());
+
+  std::vector<FairShareFlow> bad(2);
+  bad[0].resources = {0};
+  bad[1].resources = {7};  // out of range: throws mid-prepare
+  EXPECT_THROW(solver.prepare(bad, res.size()), std::out_of_range);
+  EXPECT_THROW(solver.solve_prepared(res), std::logic_error);
+
+  // A clean prepare restores service.
+  solver.prepare(good, res.size());
+  const auto rates = solver.solve_prepared(res);
+  for (const double r : rates) EXPECT_NEAR(r, 2.0, 1e-9);
+}
+
+TEST(FairShareSolver, ReuseAfterInvalidInputStillSolves) {
+  FairShareSolver solver;
+  const std::vector<FairShareResource> res = {{10.0}};
+  std::vector<FairShareFlow> bad(1);
+  bad[0].resources = {5};  // out of range
+  EXPECT_THROW(solver.solve(res, bad), std::out_of_range);
+
+  std::vector<FairShareFlow> good(2);
+  good[0].resources = {0};
+  good[1].resources = {0};
+  const auto rates = solver.solve(res, good);
+  EXPECT_NEAR(rates[0], 5.0, 1e-9);
+  EXPECT_NEAR(rates[1], 5.0, 1e-9);
+}
+
+TEST(FairShareSolver, ResultSpanInvalidatedByNextSolveByCopy) {
+  // The returned span aliases solver storage; callers that need the values
+  // across solves must copy. Verify a copy taken before the next solve
+  // stays intact (i.e. the documented usage pattern works).
+  FairShareSolver solver;
+  const std::vector<FairShareResource> res = {{30.0}};
+  std::vector<FairShareFlow> three(3);
+  for (auto& f : three) f.resources = {0};
+  const auto first = solver.solve(res, three);
+  const std::vector<double> copy(first.begin(), first.end());
+  std::vector<FairShareFlow> one(1);
+  one[0].resources = {0};
+  solver.solve(res, one);
+  for (const double r : copy) EXPECT_NEAR(r, 10.0, 1e-9);
+}
+
 // ------------------------- property-based sweep ---------------------------
 
 struct RandomCase {
@@ -139,6 +264,14 @@ TEST_P(FairShareProperty, InvariantsHold) {
   }
 
   const auto rates = max_min_fair_rates(res, flows);
+
+  // A solver instance reused across all the parameterized topologies must
+  // agree exactly with the one-shot path.
+  static FairShareSolver reused;
+  const auto reused_rates = reused.solve(res, flows);
+  ASSERT_EQ(reused_rates.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    EXPECT_DOUBLE_EQ(reused_rates[i], rates[i]);
 
   // 1. No flow exceeds its cap.
   for (std::size_t i = 0; i < flows.size(); ++i)

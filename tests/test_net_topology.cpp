@@ -59,6 +59,32 @@ TEST(Topology, GrowingPreservesPaths) {
   EXPECT_DOUBLE_EQ(t.rtt(a, c), 0.0);  // unset defaults to zero
 }
 
+TEST(Topology, ReserveHostsMatchesIncrementalGrowth) {
+  // reserve_hosts presizes the dense matrices so large materializations
+  // are not quadratic per insertion; paths and lookups must behave
+  // identically with and without the reservation, including growth past
+  // the reserved dimension.
+  Topology reserved;
+  reserved.reserve_hosts(3);
+  Topology grown;
+  for (auto* t : {&reserved, &grown}) {
+    const HostId a = t->add_host(make_host("a", mbit(10), mbit(10)));
+    const HostId b = t->add_host(make_host("b", mbit(20), mbit(20)));
+    const HostId c = t->add_host(make_host("c", mbit(30), mbit(30)));
+    t->set_path(a, b, 0.1, 1e-6, 2e-5);
+    t->set_path(b, c, 0.2, 2e-6);
+    const HostId d = t->add_host(make_host("d"));  // beyond the reservation
+    t->set_path(a, d, 0.3, 0.0);
+  }
+  for (HostId x = 0; x < reserved.host_count(); ++x)
+    for (HostId y = 0; y < reserved.host_count(); ++y) {
+      EXPECT_DOUBLE_EQ(reserved.rtt(x, y), grown.rtt(x, y));
+      EXPECT_DOUBLE_EQ(reserved.loss(x, y), grown.loss(x, y));
+      EXPECT_DOUBLE_EQ(reserved.loaded_loss(x, y), grown.loaded_loss(x, y));
+    }
+  EXPECT_THROW(reserved.rtt(0, 5), std::out_of_range);
+}
+
 TEST(Topology, RejectsBadPathParams) {
   Topology t;
   const HostId a = t.add_host(make_host("a"));

@@ -192,9 +192,28 @@ TEST(Rng, ShufflePreservesElements) {
   EXPECT_EQ(shuffled, v);
 }
 
+TEST(Rng, HashForkMatchesStringFork) {
+  // The hot-path overload must derive the identical substream: forking on
+  // a precomputed hash is a pure optimization, never a behavior change.
+  Rng p1(20210613), p2(20210613);
+  Rng by_string = p1.fork("relay-7/noise");
+  Rng by_hash = p2.fork(hash_tag("relay-7/noise"));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(by_string(), by_hash());
+}
+
 TEST(HashTag, StableAndDistinct) {
   EXPECT_EQ(hash_tag("abc"), hash_tag("abc"));
   EXPECT_NE(hash_tag("abc"), hash_tag("abd"));
+}
+
+TEST(HashTag, BasisOverloadComposesConcatenation) {
+  // hash_tag(b, hash_tag(a)) == hash_tag(a + b): lets hot loops hash a
+  // stable prefix once and append per-use suffixes without building
+  // strings (SlotRunner's per-target "/noise" fork).
+  EXPECT_EQ(hash_tag("/noise", hash_tag("relay-42")),
+            hash_tag("relay-42/noise"));
+  EXPECT_EQ(hash_tag("", hash_tag("x")), hash_tag("x"));
+  EXPECT_EQ(hash_tag("xyz", hash_tag("")), hash_tag("xyz"));
 }
 
 }  // namespace
