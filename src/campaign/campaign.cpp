@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <numeric>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -97,17 +95,6 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   plan.team_capacity_bits = team_capacity;
   sink.begin(plan);
 
-  // Delivery buffer: slots complete in any order on the pool, but the sink
-  // sees them in increasing slot order. Workers park finished SlotResults
-  // here; whoever completes the next undelivered slot flushes the
-  // contiguous prefix while holding the delivery mutex, so sink calls are
-  // serialized, ordered, and independent of the thread count.
-  std::mutex delivery_mutex;
-  std::vector<std::optional<SlotResult>> pending(occupied.size());
-  std::size_t next_to_deliver = 0;
-  std::size_t delivered = 0;
-  std::atomic<bool> cancelled{false};
-
   // Relay-name hashes for the per-target noise substreams, computed once
   // per run instead of once per relay per slot (the derived substreams are
   // identical either way — see ConcurrentTarget::name_hash).
@@ -125,20 +112,54 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
       config_.seed ^ sim::hash_tag("campaign/slot");
   ThreadPool pool(config_.threads);
 
+  // Sharded dispatch: lanes claim `shard` contiguous slots per trip to
+  // the shared counter (amortizing contention), and the reorder window is
+  // sized as a small multiple of what the lanes can be working on at
+  // once — bounded regardless of the period length.
+  const std::size_t lane_count = pool.lanes(occupied.size());
+  const std::size_t shard =
+      config_.shard_slots > 0
+          ? static_cast<std::size_t>(config_.shard_slots)
+          : ThreadPool::default_shard(occupied.size(), lane_count);
+  const std::size_t window =
+      std::max<std::size_t>(4 * lane_count * shard, 2 * lane_count);
+
+  // Delivery: slots complete in any order on the pool, but the sink sees
+  // them serialized and in increasing slot order. Workers park finished
+  // SlotResults in the bounded reorder buffer; whoever completes the next
+  // undelivered slot flushes the contiguous prefix. A sink exception
+  // aborts the buffer and propagates through park() into parallel_for's
+  // rethrow; a false return from on_progress cancels the remaining slots.
+  std::atomic<bool> cancelled{false};
+  // Mutated only inside the deliver callback, which the buffer serializes
+  // under its own lock; read again only after parallel_for has drained.
+  int delivered_count = 0;
+  SlotReorderBuffer reorder(
+      occupied.size(), window, [&](SlotResult&& ready) {
+        sink.slot_done(ready);
+        ++delivered_count;
+        if (!sink.on_progress(delivered_count,
+                              static_cast<int>(occupied.size()))) {
+          cancelled.store(true);
+          return false;
+        }
+        return true;
+      });
+
   // Per-lane persistent scratch: each parallel_for lane stays on one
-  // worker thread, so its SlotWorkspace and target/residual buffers are
+  // worker thread, so its SlotWorkspace and target/allocation buffers are
   // reused (without locking) across every slot the lane claims. Workspaces
   // are pure scratch — results are independent of which lane ran a slot.
   struct WorkerScratch {
     core::SlotWorkspace workspace;
+    core::AllocationScratch allocation;
     std::vector<double> residual;
     std::vector<core::SlotRunner::ConcurrentTarget> targets;
     std::vector<int> target_sockets;
   };
-  std::vector<WorkerScratch> scratch(pool.lanes(occupied.size()));
+  std::vector<WorkerScratch> scratch(lane_count);
 
-  pool.parallel_for(occupied.size(), [&](std::size_t lane, std::size_t w) {
-    if (cancelled.load()) return;
+  const auto run_slot = [&](std::size_t lane, std::size_t w) {
     const std::size_t slot = occupied[w];
     const std::uint64_t sub_seed =
         slot_domain ^ static_cast<std::uint64_t>(slot);
@@ -155,11 +176,11 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     for (std::size_t t = 0; t < n_targets; ++t) {
       const std::size_t r = slot_members[t];
       const auto alloc = core::allocate_greedy(
-          ws.residual, params.excess_factor() * priors[r]);
+          ws.residual, params.excess_factor() * priors[r], ws.allocation);
       for (std::size_t i = 0; i < ws.residual.size(); ++i)
         ws.residual[i] -= alloc[i];
       const auto shares =
-          core::make_shares(alloc, measurer_cores_, params);
+          core::make_shares(alloc, measurer_cores_, params, ws.allocation);
       // Overwrite the lane's target slot in place: the RelayModel is
       // borrowed from the population and only the team list is rebuilt.
       core::SlotRunner::ConcurrentTarget& target = ws.targets[t];
@@ -202,42 +223,38 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     }
     if (config_.record_outcomes) result.outcomes = std::move(outcomes);
 
-    // Park the result and flush the contiguous prefix of completed slots.
-    std::lock_guard<std::mutex> lock(delivery_mutex);
-    pending[w] = std::move(result);
-    while (next_to_deliver < pending.size() &&
-           pending[next_to_deliver].has_value()) {
-      // Consume the entry before invoking the sink: if the sink throws,
-      // the slot must not be re-delivered by the next worker that enters
-      // this loop. Cancelling alongside keeps every later worker away
-      // from the failed sink; parallel_for rethrows the exception.
-      const SlotResult ready = std::move(*pending[next_to_deliver]);
-      pending[next_to_deliver].reset();
-      ++next_to_deliver;
-      if (cancelled.load()) continue;
-      try {
-        sink.slot_done(ready);
-        ++delivered;
-        if (!sink.on_progress(static_cast<int>(delivered),
-                              static_cast<int>(occupied.size())))
-          cancelled.store(true);
-      } catch (...) {
-        cancelled.store(true);
-        throw;
-      }
+    // Park the result; the buffer blocks while w is beyond the bounded
+    // window, flushes the ready prefix in slot order, and propagates any
+    // sink exception.
+    reorder.park(w, std::move(result));
+  };
+
+  pool.parallel_for(occupied.size(), shard, [&](std::size_t lane,
+                                                std::size_t w) {
+    if (cancelled.load()) return;
+    // Any exception — from the slot computation or from the sink via
+    // park() — must abort the reorder buffer before leaving the worker:
+    // peers blocked beyond the bounded window are only woken by delivery
+    // progress or an abort, and a slot that dies uncomputed means the
+    // delivery cursor could never reach them (parallel_for stops further
+    // claims and rethrows the exception after the drain; abort() is
+    // idempotent when park() already aborted).
+    try {
+      run_slot(lane, w);
+    } catch (...) {
+      cancelled.store(true);
+      reorder.abort();
+      throw;
     }
   });
 
-  {
-    // parallel_for has drained; count what was actually delivered. Slots
-    // computed but never handed to the sink (cancellation raced ahead of
-    // them) count as skipped alongside the never-claimed ones.
-    std::lock_guard<std::mutex> lock(delivery_mutex);
-    stats.cancelled = cancelled.load();
-    stats.slots_executed = static_cast<int>(delivered);
-    stats.slots_skipped =
-        static_cast<int>(occupied.size()) - stats.slots_executed;
-  }
+  // parallel_for has drained; count what was actually delivered. Slots
+  // computed but never handed to the sink (cancellation raced ahead of
+  // them) count as skipped alongside the never-claimed ones.
+  stats.cancelled = cancelled.load();
+  stats.slots_executed = static_cast<int>(reorder.delivered());
+  stats.slots_skipped =
+      static_cast<int>(occupied.size()) - stats.slots_executed;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -61,6 +61,11 @@ struct CampaignConfig {
   ScheduleMode schedule = ScheduleMode::kGreedyPack;
   /// Worker threads for slot execution; <= 0 selects hardware concurrency.
   int threads = 1;
+  /// Contiguous slots a worker lane claims per trip to the shared
+  /// dispatch counter; <= 0 picks a size from the slot and lane counts
+  /// (ThreadPool::default_shard). Purely a performance knob: results are
+  /// bit-identical for every shard size.
+  int shard_slots = 0;
   /// Period seed; every slot derives its sub-seed from this.
   std::uint64_t seed = 1;
   /// Attach the full per-second core::SlotOutcome to every streamed

@@ -22,6 +22,65 @@ std::string fmt(double v) {
 
 }  // namespace
 
+SlotReorderBuffer::SlotReorderBuffer(std::size_t count, std::size_t window,
+                                     Deliver deliver)
+    : count_(count),
+      window_(std::max<std::size_t>(window, 1)),
+      deliver_(std::move(deliver)),
+      ring_(std::min(window_, count_ > 0 ? count_ : std::size_t{1})) {}
+
+bool SlotReorderBuffer::park(std::size_t index, SlotResult&& result) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  window_open_.wait(lock,
+                    [&] { return aborted_ || index < next_ + window_; });
+  if (aborted_) return false;
+  ring_[index % ring_.size()] = std::move(result);
+  if (index != next_) return true;  // a later parker flushes this entry
+
+  // Flush the contiguous ready prefix. The deliver callback runs under
+  // the buffer lock: deliveries are serialized and in order no matter how
+  // many workers are parking concurrently.
+  bool advanced = false;
+  while (!aborted_ && next_ < count_) {
+    std::optional<SlotResult>& slot = ring_[next_ % ring_.size()];
+    if (!slot.has_value()) break;
+    // Consume the entry before invoking the callback: if it throws, the
+    // slot must not be re-delivered by the next worker entering the loop.
+    SlotResult ready = std::move(*slot);
+    slot.reset();
+    ++next_;
+    advanced = true;
+    bool keep_going = false;
+    try {
+      keep_going = deliver_(std::move(ready));
+      ++delivered_;
+    } catch (...) {
+      aborted_ = true;
+      window_open_.notify_all();
+      throw;
+    }
+    if (!keep_going) aborted_ = true;
+  }
+  if (advanced || aborted_) window_open_.notify_all();
+  return true;
+}
+
+void SlotReorderBuffer::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  window_open_.notify_all();
+}
+
+std::size_t SlotReorderBuffer::delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
+}
+
+bool SlotReorderBuffer::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
 void AggregatingSink::begin(const RunPlan& plan) {
   result_ = CampaignResult{};
   result_.relays.assign(static_cast<std::size_t>(plan.relays),

@@ -10,15 +10,85 @@
 //     ostream as the slots finish,
 //   - ProgressSink adapts a callback into the progress/cancellation hook
 //     and forwards everything else to an optional inner sink.
+//
+// SlotReorderBuffer is the delivery mechanism behind that ordering
+// guarantee: workers park completed slots in arbitrary order, the buffer
+// flushes the contiguous prefix in slot order, and a bounded window keeps
+// a straggling early slot from piling the whole period up in memory.
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "campaign/campaign.h"
 
 namespace flashflow::campaign {
+
+/// Re-orders out-of-order slot completions into in-order deliveries, with
+/// bounded buffering.
+///
+/// Workers complete indices in arbitrary order, but sinks must observe
+/// increasing order. Completed results park here; whichever worker parks
+/// the next undelivered index flushes the contiguous ready prefix through
+/// the deliver callback (serialized under the buffer lock, so sinks never
+/// see concurrent calls). At most `window` undelivered results are held:
+/// a worker that finishes an index too far ahead blocks until the window
+/// advances, so memory stays O(window · result size) instead of
+/// O(period · result size) — which matters when record_outcomes attaches
+/// four per-second series to every slot of a 6,419-relay period.
+///
+/// Deadlock freedom: this relies on each producer lane handing over its
+/// indices in strictly increasing order (ThreadPool::parallel_for
+/// guarantees it). The lane owning the next undelivered index is then
+/// never blocked — that index is always inside the window — and every
+/// delivery advances the window and wakes the waiters.
+class SlotReorderBuffer {
+ public:
+  /// Called in increasing index order, exactly once per delivered index.
+  /// Return false to cancel: the buffer aborts, parked results are
+  /// dropped, and blocked workers unblock.
+  using Deliver = std::function<bool(SlotResult&&)>;
+
+  /// Indices in [0, count) may be parked, each exactly once; at most
+  /// `window` (clamped to >= 1) undelivered results are held at a time.
+  SlotReorderBuffer(std::size_t count, std::size_t window, Deliver deliver);
+
+  /// Parks the result for `index`, blocking while the index is beyond the
+  /// bounded window, then flushes the ready prefix. If the deliver
+  /// callback throws, the buffer aborts and the exception propagates out
+  /// of the flushing park() call. Returns false if the buffer was already
+  /// aborted (the result is dropped).
+  bool park(std::size_t index, SlotResult&& result);
+
+  /// Drops undelivered results and unblocks parked workers; subsequent
+  /// park() calls return false immediately.
+  void abort();
+
+  /// Results delivered so far (== count after an uncancelled run).
+  std::size_t delivered() const;
+
+  /// True once cancelled by abort(), a deliver exception, or a deliver
+  /// callback returning false.
+  bool aborted() const;
+
+ private:
+  const std::size_t count_;
+  const std::size_t window_;
+  Deliver deliver_;
+  mutable std::mutex mutex_;
+  std::condition_variable window_open_;
+  /// Ring of the window's parked results, indexed by index % window_.
+  std::vector<std::optional<SlotResult>> ring_;
+  std::size_t next_ = 0;  // next index to deliver
+  std::size_t delivered_ = 0;
+  bool aborted_ = false;
+};
 
 /// Rebuilds the in-memory CampaignResult from the stream: per-relay
 /// estimates aligned with the input population plus the aggregate summary.

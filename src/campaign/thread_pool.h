@@ -4,9 +4,14 @@
 // RNG (forked deterministically from the period seed) and writes to a
 // disjoint range of the result vector, so the pool needs no result
 // plumbing — only bounded workers and completion. parallel_for() hands out
-// indices through a shared atomic counter, which keeps the work/thread
-// assignment irrelevant to the output: determinism comes from the per-index
-// seeding, not from the scheduling order.
+// contiguous index shards through a shared atomic counter, which keeps the
+// work/thread assignment irrelevant to the output: determinism comes from
+// the per-index seeding, not from the scheduling order. Sharding (instead
+// of claiming one index at a time) amortizes the counter contention and
+// the per-index cache-line hand-off across real cores; each lane still
+// processes its indices in strictly increasing order, which downstream
+// consumers (the campaign's bounded reorder buffer) rely on for deadlock
+// freedom.
 #pragma once
 
 #include <algorithm>
@@ -66,10 +71,10 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for every i in [0, n). Blocks until all indices complete.
-  /// Work is claimed index-by-index through an atomic counter, so results
-  /// must not depend on which worker runs which index. If any invocation
-  /// throws, the first captured exception is rethrown here after the loop
-  /// drains.
+  /// Work is claimed in contiguous shards through an atomic counter, so
+  /// results must not depend on which worker runs which index. If any
+  /// invocation throws, the first captured exception is rethrown here
+  /// after the loop drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     parallel_for(n, [&fn](std::size_t, std::size_t i) { fn(i); });
   }
@@ -81,24 +86,43 @@ class ThreadPool {
   /// lane→index assignment.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for(n, /*shard_size=*/0, fn);
+  }
+
+  /// Sharded lane-aware dispatch: each lane claims `shard_size` contiguous
+  /// indices per trip to the shared counter (0 picks default_shard). A
+  /// shard size of 1 degenerates to the previous index-at-a-time claiming.
+  /// Two guarantees callers may rely on, independent of the shard size:
+  ///   - every index in [0, n) runs exactly once (unless a prior index
+  ///     threw, which stops further claims), and
+  ///   - each lane observes its indices in strictly increasing order
+  ///     (shards are claimed monotonically and walked front to back).
+  void parallel_for(std::size_t n, std::size_t shard_size,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
+    const std::size_t lane_count = lanes(n);
+    if (shard_size == 0) shard_size = default_shard(n, lane_count);
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
     auto failed = std::make_shared<std::atomic<bool>>(false);
     auto first_error = std::make_shared<std::once_flag>();
     auto error = std::make_shared<std::exception_ptr>();
-    const std::size_t lane_count = lanes(n);
     for (std::size_t lane = 0; lane < lane_count; ++lane) {
-      submit([n, lane, next, failed, first_error, error, &fn] {
-        // Stop claiming new indices once any invocation has thrown;
-        // in-flight indices still finish.
-        for (std::size_t i = (*next)++; i < n && !failed->load();
-             i = (*next)++) {
-          try {
-            fn(lane, i);
-          } catch (...) {
-            std::call_once(*first_error,
-                           [&] { *error = std::current_exception(); });
-            failed->store(true);
+      submit([n, shard_size, lane, next, failed, first_error, error, &fn] {
+        // Stop claiming new shards (and new indices within the current
+        // shard) once any invocation has thrown; in-flight indices still
+        // finish.
+        for (std::size_t begin = next->fetch_add(shard_size);
+             begin < n && !failed->load();
+             begin = next->fetch_add(shard_size)) {
+          const std::size_t end = std::min(begin + shard_size, n);
+          for (std::size_t i = begin; i < end && !failed->load(); ++i) {
+            try {
+              fn(lane, i);
+            } catch (...) {
+              std::call_once(*first_error,
+                             [&] { *error = std::current_exception(); });
+              failed->store(true);
+            }
           }
         }
       });
@@ -110,6 +134,16 @@ class ThreadPool {
   /// Number of lanes a parallel_for over n indices will use.
   std::size_t lanes(std::size_t n) const {
     return std::min(n, static_cast<std::size_t>(size()));
+  }
+
+  /// Shard size parallel_for picks when the caller passes 0: roughly
+  /// eight claims per lane, so the counter hand-off is amortized while the
+  /// tail stays balanced, capped at 64 so consumers that buffer a small
+  /// multiple of lanes × shard (the campaign's slot-reorder window) stay
+  /// bounded even for huge n.
+  static std::size_t default_shard(std::size_t n, std::size_t lane_count) {
+    if (n == 0 || lane_count == 0) return 1;
+    return std::clamp<std::size_t>(n / (8 * lane_count), 1, 64);
   }
 
  private:

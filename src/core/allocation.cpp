@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace flashflow::core {
 
-std::vector<double> allocate_greedy(std::span<const double> residual_caps,
-                                    double required_bits) {
+std::span<const double> allocate_greedy(std::span<const double> residual_caps,
+                                        double required_bits,
+                                        AllocationScratch& scratch) {
   if (required_bits < 0.0)
     throw std::invalid_argument("allocate_greedy: negative requirement");
   const double total =
@@ -15,8 +17,10 @@ std::vector<double> allocate_greedy(std::span<const double> residual_caps,
   if (total + 1e-6 < required_bits)
     throw std::runtime_error("allocate_greedy: insufficient team capacity");
 
-  std::vector<double> alloc(residual_caps.size(), 0.0);
-  std::vector<double> residual(residual_caps.begin(), residual_caps.end());
+  scratch.alloc.assign(residual_caps.size(), 0.0);
+  scratch.residual.assign(residual_caps.begin(), residual_caps.end());
+  std::vector<double>& alloc = scratch.alloc;
+  std::vector<double>& residual = scratch.residual;
   double remaining = required_bits;
   while (remaining > 1e-9) {
     // Measurer with the most residual capacity.
@@ -31,17 +35,25 @@ std::vector<double> allocate_greedy(std::span<const double> residual_caps,
   return alloc;
 }
 
-std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
-                                       std::span<const int> measurer_cores,
-                                       const Params& params) {
+std::vector<double> allocate_greedy(std::span<const double> residual_caps,
+                                    double required_bits) {
+  AllocationScratch scratch;
+  allocate_greedy(residual_caps, required_bits, scratch);
+  return std::move(scratch.alloc);
+}
+
+std::span<const MeasurerShare> make_shares(std::span<const double> allocations,
+                                           std::span<const int> measurer_cores,
+                                           const Params& params,
+                                           AllocationScratch& scratch) {
   if (allocations.size() != measurer_cores.size())
     throw std::invalid_argument("make_shares: size mismatch");
   std::size_t participants = 0;
   for (const double a : allocations)
     if (a > 0.0) ++participants;
 
-  std::vector<MeasurerShare> shares;
-  shares.reserve(allocations.size());
+  scratch.shares.clear();
+  scratch.shares.reserve(allocations.size());
   for (std::size_t i = 0; i < allocations.size(); ++i) {
     MeasurerShare s;
     s.measurer_index = i;
@@ -52,9 +64,17 @@ std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
                       ? static_cast<int>(params.sockets / participants)
                       : 0;
     }
-    shares.push_back(s);
+    scratch.shares.push_back(s);
   }
-  return shares;
+  return scratch.shares;
+}
+
+std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
+                                       std::span<const int> measurer_cores,
+                                       const Params& params) {
+  AllocationScratch scratch;
+  make_shares(allocations, measurer_cores, params, scratch);
+  return std::move(scratch.shares);
 }
 
 }  // namespace flashflow::core

@@ -23,12 +23,30 @@ struct MeasurerShare {
   int sockets = 0;            // share of the team's s sockets
 };
 
+/// Caller-owned scratch for the zero-allocation allocator variants below.
+/// Campaign workers run one §4.2 allocation per relay per slot; with a
+/// persistent scratch the buffers reach steady-state capacity after the
+/// first few slots and the allocator never touches the heap again.
+/// Results are identical whether the scratch is fresh or reused.
+struct AllocationScratch {
+  std::vector<double> alloc;
+  std::vector<double> residual;
+  std::vector<MeasurerShare> shares;
+};
+
 /// Greedily allocates `required_bits` across measurers with the given
 /// residual capacities. Returns per-measurer allocations a_i (aligned with
 /// `residual_caps`; zero entries mean "not participating"). Throws
 /// std::runtime_error if the total residual capacity is insufficient.
 std::vector<double> allocate_greedy(std::span<const double> residual_caps,
                                     double required_bits);
+
+/// Scratch-based variant: writes the allocations into `scratch.alloc`
+/// (using `scratch.residual` as the greedy working copy) and returns a
+/// span over them, valid until the next call with the same scratch.
+std::span<const double> allocate_greedy(std::span<const double> residual_caps,
+                                        double required_bits,
+                                        AllocationScratch& scratch);
 
 /// Expands raw allocations into full shares: process counts (one per core,
 /// at least one, only for participating measurers) and socket splits
@@ -37,5 +55,14 @@ std::vector<double> allocate_greedy(std::span<const double> residual_caps,
 std::vector<MeasurerShare> make_shares(std::span<const double> allocations,
                                        std::span<const int> measurer_cores,
                                        const Params& params);
+
+/// Scratch-based variant: writes into `scratch.shares` and returns a span
+/// over them, valid until the next call with the same scratch.
+/// `allocations` may alias `scratch.alloc` (the campaign hot path chains
+/// the two scratch calls on one AllocationScratch).
+std::span<const MeasurerShare> make_shares(std::span<const double> allocations,
+                                           std::span<const int> measurer_cores,
+                                           const Params& params,
+                                           AllocationScratch& scratch);
 
 }  // namespace flashflow::core

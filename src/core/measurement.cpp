@@ -84,10 +84,15 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   // The rng_ call sequence in this loop is load-bearing: it must match the
   // pre-workspace implementation draw for draw so fixed-seed results stay
   // bit-identical (tests/test_golden_determinism.cpp pins this).
-  ws.noise_.clear();
-  ws.noise_.reserve(n_targets);
+  //
+  // Each target's noise series comes from its own forked substream, so the
+  // whole slot's worth of factors can be drawn here in one batched pass
+  // per target (tor::RelayNoise::fill_factors) without perturbing any
+  // other stream — the per-second loop then just reads the arena.
+  const std::size_t n_seconds = static_cast<std::size_t>(t_seconds);
   ws.slot_factor_.resize(n_targets);
   ws.path_factor_.resize(n_members);
+  ws.noise_factor_.resize(n_targets * n_seconds);
   for (std::size_t t = 0; t < n_targets; ++t) {
     const ConcurrentTarget& target = targets[t];
     const std::uint64_t name_hash = target.name_hash != 0
@@ -95,8 +100,10 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
                                         : sim::hash_tag(target.relay->name);
     // Identical substream to forking on relay->name + "/noise": FNV-1a
     // continues from the precomputed name hash.
-    ws.noise_.emplace_back(tor::RelayNoise::Params{},
-                           rng_.fork(sim::hash_tag("/noise", name_hash)));
+    tor::RelayNoise noise(tor::RelayNoise::Params{},
+                          rng_.fork(sim::hash_tag("/noise", name_hash)));
+    noise.fill_factors(
+        {ws.noise_factor_.data() + t * n_seconds, n_seconds});
     ws.slot_factor_[t] =
         std::clamp(1.0 + rng_.normal(-0.01, 0.04), 0.85, 1.04);
     for (std::size_t i = 0; i < target.team.size(); ++i) {
@@ -109,6 +116,14 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
       ws.path_factor_[ws.team_offset_[t] + i] = factor;
     }
   }
+
+  // Per-second capacity jitter, batched off the slot RNG. The loop below
+  // used to draw one normal per (second, target) pair, second-major; a
+  // single normal_fill consumes the identical raw-draw sequence (nothing
+  // else touches rng_ between setup and verification), so the arena holds
+  // bit-identical values at the same (second, target) positions.
+  ws.jitter_.resize(n_seconds * n_targets);
+  rng_.normal_fill(ws.jitter_);
 
   // Total sockets pointed at each target (drives the CPU overhead model),
   // and the second-invariant part of the relay's capacity: ground_truth()
@@ -198,7 +213,10 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   ws.x_it_.resize(n_members);
 
   // ------------------------------------------------------ per-second loop --
+  // All stochastic series were batched into arenas above: this loop is
+  // pure arithmetic (no rng_ draws, no libm transcendentals).
   for (int second = 0; second < t_seconds; ++second) {
+    const std::size_t s = static_cast<std::size_t>(second);
     // Relay-internal capacity this second (CPU, rate limit + burst, noise).
     for (std::size_t t = 0; t < n_targets; ++t) {
       const auto& relay = *targets[t].relay;
@@ -207,9 +225,11 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
       double cap = ws.base_capacity_[t];
       if (relay.rate_limit_bits > 0.0 && second == 0)
         cap += relay.rate_limit_bits * relay.burst_seconds;
-      // Noise plus a small absolute jitter that dominates for tiny relays.
-      cap = cap * ws.slot_factor_[t] * ws.noise_[t].next_factor() +
-            rng_.normal(0.0, net::mbit(0.15));
+      // Noise plus a small absolute jitter that dominates for tiny relays
+      // (jitter_[s][t] == the normal(0, 0.15 Mbit) the loop used to draw
+      // here, scaled from the batched standard normals).
+      cap = cap * ws.slot_factor_[t] * ws.noise_factor_[t * n_seconds + s] +
+            net::mbit(0.15) * ws.jitter_[s * n_targets + t];
       ws.relay_capacity_[t] = std::max(cap, 0.0);
     }
 

@@ -81,7 +81,6 @@ class SlotWorkspace {
   friend class SlotRunner;
 
   // Per-target state (size: n_targets).
-  std::vector<tor::RelayNoise> noise_;
   std::vector<double> slot_factor_;
   std::vector<int> sockets_at_target_;
   std::vector<double> base_capacity_;   // ground_truth, hoisted per slot
@@ -95,6 +94,16 @@ class SlotWorkspace {
   // Per-(target, measurer) arenas, stride-indexed via team_offset_.
   std::vector<double> path_factor_;
   std::vector<double> x_it_;
+
+  // Stochastic per-second series, generated in batches at slot setup so
+  // the per-second loop itself runs transcendental-free (the Box-Muller
+  // log/sqrt/sincos calls all happen back to back in the setup fills).
+  // noise_factor_ is target-major ([t * slot_seconds + s], each target's
+  // series drawn from its own forked substream); jitter_ is second-major
+  // ([s * n_targets + t], matching the order the per-second loop used to
+  // draw them from the slot RNG one at a time).
+  std::vector<double> noise_factor_;
+  std::vector<double> jitter_;
 
   // Shared-resource model, built once per slot.
   std::vector<net::HostId> hosts_;  // de-duplicated measurer + target hosts

@@ -210,6 +210,11 @@ ScenarioBuilder& ScenarioBuilder::threads(int threads) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::shard_slots(int shard_slots) {
+  spec_.shard_slots = shard_slots;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
   spec_.seed = seed;
   return *this;
@@ -351,6 +356,7 @@ const campaign::CampaignRunner& Scenario::runner() const {
     config.measurer_capacity_bits = resolve_team_capacities(spec_, mat);
     config.schedule = spec_.schedule;
     config.threads = spec_.threads;
+    config.shard_slots = spec_.shard_slots;
     config.seed = period_seed(spec_, 0);
     config.record_outcomes = spec_.record_outcomes;
     runner_ = std::make_unique<campaign::CampaignRunner>(mat.topology,
@@ -461,7 +467,8 @@ analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec,
       !spec.team.measurer_names.empty() || !spec.team.capacity_bits.empty() ||
       spec.periods != 1 || spec.record_outcomes ||
       spec.schedule != campaign::ScheduleMode::kGreedyPack ||
-      spec.threads != 1 || syn->prior_fraction > 0.0)
+      spec.threads != 1 || spec.shard_slots != 0 ||
+      syn->prior_fraction > 0.0)
     throw std::invalid_argument(
         "run_speed_test: adversary mix, background model, team, periods, "
         "schedule, threads, record_outcomes and prior_fraction do not "

@@ -111,6 +111,10 @@ struct ScenarioSpec {
   /// Measurement periods for Experiment; Scenario::run executes one.
   int periods = 1;
   int threads = 1;
+  /// Contiguous slots a worker lane claims per dispatch
+  /// (campaign::CampaignConfig::shard_slots); <= 0 = auto. Perf knob
+  /// only — results are bit-identical for every value.
+  int shard_slots = 0;
   std::uint64_t seed = 1;
   /// Attach per-second core::SlotOutcomes to streamed SlotResults.
   bool record_outcomes = false;
@@ -151,6 +155,7 @@ class ScenarioBuilder {
   ScenarioBuilder& schedule(campaign::ScheduleMode mode);
   ScenarioBuilder& periods(int periods);
   ScenarioBuilder& threads(int threads);
+  ScenarioBuilder& shard_slots(int shard_slots);
   ScenarioBuilder& seed(std::uint64_t seed);
   ScenarioBuilder& record_outcomes(bool on = true);
 

@@ -94,11 +94,7 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
+std::pair<double, double> Rng::normal_pair() {
   double u1{};
   do {
     u1 = uniform();
@@ -106,9 +102,40 @@ double Rng::normal() {
   const double u2 = uniform();
   const double radius = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = radius * std::sin(theta);
+  // sin and cos of the same angle: the compiler fuses these into one
+  // sincos call on libm targets (an exact transform, so the values stay
+  // bit-identical to separate calls).
+  return {radius * std::cos(theta), radius * std::sin(theta)};
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  const auto [first, second] = normal_pair();
+  cached_normal_ = second;
   has_cached_normal_ = true;
-  return radius * std::cos(theta);
+  return first;
+}
+
+void Rng::normal_fill(std::span<double> out) {
+  std::size_t i = 0;
+  if (i < out.size() && has_cached_normal_) {
+    has_cached_normal_ = false;
+    out[i++] = cached_normal_;
+  }
+  while (i + 2 <= out.size()) {
+    const auto [first, second] = normal_pair();
+    out[i++] = first;
+    out[i++] = second;
+  }
+  if (i < out.size()) {
+    const auto [first, second] = normal_pair();
+    out[i] = first;
+    cached_normal_ = second;
+    has_cached_normal_ = true;
+  }
 }
 
 double Rng::normal(double mean, double stddev) {

@@ -8,7 +8,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace flashflow::sim {
@@ -56,6 +58,14 @@ class Rng {
   double normal();
   /// Normal with mean/stddev.
   double normal(double mean, double stddev);
+  /// Fills `out` with standard normals: bit-identical values, in the same
+  /// order and consuming the same raw draws, as out.size() successive
+  /// normal() calls (the Box-Muller pair cache carries across batches).
+  /// Hot loops that need a known number of gaussians — e.g. a slot's
+  /// per-second jitter series — batch them here so the transcendentals
+  /// (log/sqrt/sincos per pair) run back to back in one tight loop at
+  /// setup instead of being scattered through the per-second simulation.
+  void normal_fill(std::span<double> out);
   /// Log-normal: exp(N(mu, sigma)).
   double log_normal(double mu, double sigma);
   /// Pareto with scale xm > 0 and shape alpha > 0.
@@ -75,6 +85,9 @@ class Rng {
   }
 
  private:
+  /// One Box-Muller pair from two fresh uniforms (no cache interaction).
+  std::pair<double, double> normal_pair();
+
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -22,13 +22,23 @@ EventId Simulator::schedule_every(SimDuration interval,
                                   std::function<bool()> fn) {
   if (interval <= 0)
     throw std::invalid_argument("Simulator::schedule_every: interval <= 0");
-  // The periodic closure reschedules itself; shared_ptr lets it self-refer.
-  auto task = std::make_shared<std::function<void()>>();
-  auto body = [this, interval, fn = std::move(fn), task]() {
-    if (fn()) queue_.schedule(now_ + interval, *task);
+  // Each pending occurrence owns the task through the shared_ptr and, if
+  // the task wants to continue, schedules a fresh copy of itself. Unlike
+  // a self-referential heap closure (a shared_ptr cycle that LeakSanitizer
+  // rightly flags), no object here strongly references itself, so the task
+  // is freed as soon as its last pending occurrence is dispatched.
+  struct Periodic {
+    Simulator* sim;
+    SimDuration interval;
+    std::shared_ptr<std::function<bool()>> task;
+    void operator()() const {
+      if ((*task)()) sim->schedule_in(interval, *this);
+    }
   };
-  *task = body;
-  return queue_.schedule(now_ + interval, *task);
+  return queue_.schedule(
+      now_ + interval,
+      Periodic{this, interval,
+               std::make_shared<std::function<bool()>>(std::move(fn))});
 }
 
 void Simulator::run() {

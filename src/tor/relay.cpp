@@ -28,6 +28,14 @@ double RelayNoise::next_factor() {
   return std::clamp(factor, 0.0, params_.max_factor);
 }
 
+void RelayNoise::fill_factors(std::span<double> out) {
+  // The episode draws are data-dependent (a chance() draw gates each
+  // second's episode sampling), so the per-second draw interleaving is
+  // preserved verbatim; the batching win is hoisting the whole series out
+  // of callers' per-second loops.
+  for (double& factor : out) factor = next_factor();
+}
+
 double RelayModel::measurement_capacity(int sockets) const {
   double cap = std::min(nic_up_bits, nic_down_bits);
   cap = std::min(cap, cpu.capacity(sockets));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <string>
 
 #include "sim/random.h"
@@ -40,6 +41,12 @@ class RelayNoise {
   RelayNoise(Params params, sim::Rng rng);
   /// Noise factor for the next second (advances the process).
   double next_factor();
+  /// Factors for the next out.size() seconds — the identical sequence
+  /// next_factor() would return call by call (same draws, same order),
+  /// batched so a slot's whole noise series is generated in one pass at
+  /// slot setup instead of one transcendental-bearing call per simulated
+  /// second inside the hot loop.
+  void fill_factors(std::span<double> out);
 
  private:
   Params params_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -45,9 +46,9 @@ std::vector<CampaignRelay> small_population(const net::Topology& topo) {
 
 TEST(ThreadPool, ParallelForCoversEveryIndex) {
   ThreadPool pool(4);
-  std::vector<int> hits(1000, 0);
+  std::vector<std::atomic<int>> hits(1000);
   pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
-  for (const int h : hits) EXPECT_EQ(h, 1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, PropagatesFirstException) {
@@ -131,6 +132,30 @@ TEST(Campaign, StreamedSinkOutputIdenticalAcrossThreadCounts) {
   EXPECT_EQ(csv1, stream_csv(8));
   EXPECT_NE(csv1.find("period,relay,slot"), std::string::npos);
   EXPECT_EQ(stream_jsonl(1), stream_jsonl(8));
+}
+
+TEST(Campaign, StreamedBytesIdenticalAcrossShardSizes) {
+  // The dispatch shard size (and the reorder window derived from it) is a
+  // pure perf knob: the streamed bytes must not move for any combination
+  // of shard size and thread count.
+  const auto topo = net::make_table1_hosts();
+  const auto relays = small_population(topo);
+
+  const auto stream_csv = [&](int threads, int shard) {
+    auto config = lab_config(topo);
+    config.threads = threads;
+    config.shard_slots = shard;
+    std::ostringstream out;
+    CsvSink sink(out);
+    CampaignRunner(topo, config).run(relays, sink);
+    return out.str();
+  };
+
+  const std::string baseline = stream_csv(/*threads=*/1, /*shard=*/0);
+  for (const int threads : {1, 8})
+    for (const int shard : {1, 2, 1000})
+      EXPECT_EQ(baseline, stream_csv(threads, shard))
+          << "threads=" << threads << " shard=" << shard;
 }
 
 TEST(Campaign, SinkSeesEverySlotInOrderWithPlan) {

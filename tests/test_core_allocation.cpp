@@ -97,5 +97,63 @@ TEST(MakeShares, SizeMismatchThrows) {
   EXPECT_THROW(make_shares(alloc, cores, p), std::invalid_argument);
 }
 
+TEST(AllocationScratch, ScratchVariantsMatchAllocatingAPI) {
+  // The campaign hot path chains both scratch calls on one
+  // AllocationScratch; results must match the allocating API exactly.
+  Params p;
+  const std::vector<double> caps = {net::mbit(900), net::mbit(500),
+                                    net::mbit(700)};
+  const std::vector<int> cores = {2, 1, 4};
+  AllocationScratch scratch;
+  for (const double need_mbit : {100, 600, 1400, 2000}) {
+    const auto expected_alloc = allocate_greedy(caps, net::mbit(need_mbit));
+    const auto alloc =
+        allocate_greedy(caps, net::mbit(need_mbit), scratch);
+    ASSERT_EQ(alloc.size(), expected_alloc.size());
+    for (std::size_t i = 0; i < alloc.size(); ++i)
+      EXPECT_DOUBLE_EQ(alloc[i], expected_alloc[i]);
+
+    const auto expected_shares = make_shares(expected_alloc, cores, p);
+    // `alloc` aliases scratch.alloc while make_shares writes
+    // scratch.shares — the documented chaining pattern.
+    const auto shares = make_shares(alloc, cores, p, scratch);
+    ASSERT_EQ(shares.size(), expected_shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      EXPECT_EQ(shares[i].measurer_index, expected_shares[i].measurer_index);
+      EXPECT_DOUBLE_EQ(shares[i].allocated_bits,
+                       expected_shares[i].allocated_bits);
+      EXPECT_EQ(shares[i].processes, expected_shares[i].processes);
+      EXPECT_EQ(shares[i].sockets, expected_shares[i].sockets);
+    }
+  }
+}
+
+TEST(AllocationScratch, ReuseAcrossShrinkingAndGrowingTeams) {
+  // Reusing one scratch across differently sized teams must re-size the
+  // outputs correctly (stale capacity may remain, stale values must not).
+  AllocationScratch scratch;
+  const std::vector<double> big = {net::mbit(900), net::mbit(900),
+                                   net::mbit(900), net::mbit(900)};
+  const std::vector<double> small = {net::mbit(900)};
+  EXPECT_EQ(allocate_greedy(big, net::mbit(1800), scratch).size(), 4u);
+  EXPECT_EQ(allocate_greedy(small, net::mbit(100), scratch).size(), 1u);
+  EXPECT_DOUBLE_EQ(scratch.alloc[0], net::mbit(100));
+  EXPECT_EQ(allocate_greedy(big, net::mbit(100), scratch).size(), 4u);
+  // Only the largest-residual measurer participates again.
+  EXPECT_DOUBLE_EQ(scratch.alloc[0], net::mbit(100));
+  EXPECT_DOUBLE_EQ(scratch.alloc[1], 0.0);
+}
+
+TEST(AllocationScratch, ScratchVariantStillValidates) {
+  AllocationScratch scratch;
+  const std::vector<double> caps = {net::mbit(100)};
+  EXPECT_THROW(allocate_greedy(caps, -1.0, scratch), std::invalid_argument);
+  EXPECT_THROW(allocate_greedy(caps, net::mbit(200), scratch),
+               std::runtime_error);
+  Params p;
+  const std::vector<int> cores = {1, 2};
+  EXPECT_THROW(make_shares(caps, cores, p, scratch), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace flashflow::core

@@ -216,5 +216,53 @@ TEST(HashTag, BasisOverloadComposesConcatenation) {
   EXPECT_EQ(hash_tag("xyz", hash_tag("")), hash_tag("xyz"));
 }
 
+TEST(Rng, NormalFillMatchesSequentialNormalCalls) {
+  // The batched gaussian path must be bit-identical to call-at-a-time
+  // normal(): same values, same raw-draw consumption, including the
+  // Box-Muller pair cache carrying across batch boundaries. Odd sizes
+  // exercise the cache-in/cache-out edges.
+  for (const std::size_t count : {0u, 1u, 2u, 5u, 8u, 33u}) {
+    Rng sequential(77);
+    Rng batched(77);
+    std::vector<double> expected(count);
+    for (double& v : expected) v = sequential.normal();
+    std::vector<double> filled(count);
+    batched.normal_fill(filled);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(filled[i], expected[i]) << "count=" << count << " i=" << i;
+    // Both generators must resume in lockstep (same cache, same state).
+    EXPECT_EQ(batched.normal(), sequential.normal());
+    EXPECT_EQ(batched(), sequential());
+  }
+}
+
+TEST(Rng, NormalFillConsumesPrimedCacheFirst) {
+  Rng sequential(123);
+  Rng batched(123);
+  // Prime both pair caches, then batch on one and iterate on the other.
+  EXPECT_EQ(batched.normal(), sequential.normal());
+  std::vector<double> expected(7);
+  for (double& v : expected) v = sequential.normal();
+  std::vector<double> filled(7);
+  batched.normal_fill(filled);
+  for (std::size_t i = 0; i < filled.size(); ++i)
+    EXPECT_EQ(filled[i], expected[i]);
+  EXPECT_EQ(batched.uniform(), sequential.uniform());
+}
+
+TEST(Rng, NormalFillInterleavesWithOtherDraws) {
+  // Mixed workloads (the slot pipeline interleaves uniforms, chance and
+  // gaussian batches on one stream) must see the same stream either way.
+  Rng a(9), b(9);
+  std::vector<double> batch(3);
+  a.normal_fill(batch);
+  EXPECT_EQ(a.uniform(), [&] {
+    b.normal();
+    b.normal();
+    b.normal();
+    return b.uniform();
+  }());
+}
+
 }  // namespace
 }  // namespace flashflow::sim

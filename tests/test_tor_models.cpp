@@ -161,5 +161,22 @@ TEST(RelayNoise, FactorsBoundedAndVarying) {
   EXPECT_LT(lo, hi);  // the process actually varies
 }
 
+TEST(RelayNoise, FillFactorsMatchesSequentialCalls) {
+  // The batched slot-setup path must reproduce the call-at-a-time series
+  // exactly — same draws in the same order — and leave the process in the
+  // same state (a reused workspace alternates batch sizes across slots).
+  RelayNoise sequential({}, sim::Rng(42));
+  RelayNoise batched({}, sim::Rng(42));
+  for (const std::size_t count : {std::size_t{30}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{64}}) {
+    std::vector<double> expected(count);
+    for (double& f : expected) f = sequential.next_factor();
+    std::vector<double> filled(count);
+    batched.fill_factors(filled);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(filled[i], expected[i]) << "count=" << count << " i=" << i;
+  }
+}
+
 }  // namespace
 }  // namespace flashflow::tor
