@@ -239,20 +239,13 @@ int main(int argc, char** argv) {
     } else if (const char* vs = value("--thread-sweep")) {
       sweep = parse_thread_list(vs, "--thread-sweep");
     } else if (const char* vr = value("--repeat")) {
-      repeats = std::atoi(vr);
-      if (repeats <= 0 || repeats > 100) {
-        std::cerr << argv[0] << ": --repeat needs an integer in [1, 100], "
-                  << "got '" << vr << "'\n";
-        return 2;
-      }
+      // Strict parse (bench::parse_int_flag): atoi would run "1O0" as 1
+      // and could not tell 0 from garbage.
+      repeats = static_cast<int>(
+          bench::parse_int_flag(vr, 1, 100, "--repeat", argv[0]));
     } else if (const char* v = value("--relays")) {
-      const int n = std::atoi(v);
-      if (n <= 0) {
-        std::cerr << argv[0] << ": --relays needs a positive integer, got '"
-                  << v << "'\n";
-        return 2;
-      }
-      sizes = {n};
+      sizes = {static_cast<int>(
+          bench::parse_int_flag(v, 1, 1000000, "--relays", argv[0]))};
     } else if (const char* v2 = value("--out")) {
       out_path = v2;
     } else {

@@ -6,38 +6,34 @@
 // token-bucket burst spikes at the start, and throughput returns to the
 // pre-measurement level immediately afterwards.
 //
-// The setup is a declarative scenario; the per-second timeline comes from
-// streaming the slot through a sink with record_outcomes on.
+// The setup is the checked-in scenarios/fig07.yaml scenario file
+// (`--scenario FILE` substitutes another); the per-second timeline comes
+// from streaming the slot through a sink with record_outcomes on.
 #include <iostream>
 
 #include "bench_util.h"
 #include "campaign/sink.h"
 #include "net/units.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 
 using namespace flashflow;
 
 int main(int argc, char** argv) {
+  const std::string path = bench::take_scenario_flag(
+      argc, argv, scenario::default_scenario_dir() + "/fig07.yaml");
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
   // One relay, one slot: the worker pool has nothing to parallelize, so
-  // no --threads flag.
-  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/20210607,
+  // no --threads flag. The file's seed is the default; --seed overrides.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/spec.seed,
                                     /*default_threads=*/1,
                                     /*accepts_threads=*/false);
+  spec.seed = cli.seed;
   bench::header("Figure 7 - measurement with client background traffic",
                 "background clamps to ~25 Mbit/s under r=0.1; initial "
                 "burst spike; sum equals relay total; instant recovery");
 
-  core::Params params;
-  params.ratio = 0.1;
-  const scenario::Scenario scenario(
-      scenario::ScenarioBuilder("fig7")
-          .table1_relays({250}, /*background_mbit=*/50, /*prior_mbit=*/250)
-          .measurers({"NL"})
-          .measurer_capacities({net::mbit(1611)})
-          .params(params)
-          .record_outcomes()
-          .seed(cli.seed)
-          .build());
+  const scenario::Scenario scenario(spec);
 
   // Capture the relay's full slot outcome from the stream.
   struct TimelineSink : campaign::SlotSink {

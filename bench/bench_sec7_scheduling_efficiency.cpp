@@ -6,9 +6,10 @@
 // new relays (median 3/consensus, prior 51 Mbit/s) are measured within
 // 30 s median (max 13 minutes for a 98-relay burst).
 //
-// The whole-network layout is a declarative scenario over the §3
-// synthetic population; Scenario::plan() computes the packing without
-// materializing a topology (6,419 relays would need a ~1 GB path matrix).
+// The whole-network layout is the checked-in scenarios/sec7.yaml
+// scenario file (`--scenario FILE` substitutes another);
+// Scenario::plan() computes the packing without materializing a
+// topology (6,419 relays would need a ~1 GB path matrix).
 #include <algorithm>
 #include <iostream>
 
@@ -16,31 +17,26 @@
 #include "core/schedule.h"
 #include "net/units.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 
 using namespace flashflow;
 
 int main(int argc, char** argv) {
+  const std::string path = bench::take_scenario_flag(
+      argc, argv, scenario::default_scenario_dir() + "/sec7.yaml");
+  // July-2019-like capacity sample: 6,419 relays, largest 998 Mbit/s,
+  // total ~608 Gbit/s, measured by three 1 Gbit/s measurers.
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
   // Schedule-only analysis (Scenario::plan()); no worker pool, so no
-  // --threads flag.
-  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/20210613,
+  // --threads flag. The file's seed is the default; --seed overrides.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/spec.seed,
                                     /*default_threads=*/1,
                                     /*accepts_threads=*/false);
+  spec.seed = cli.seed;
   bench::header("§7 - network measurement efficiency",
                 "whole network in ~5 h (599 slots) with 3x1 Gbit/s; new "
                 "relays within ~30 s median");
 
-  // July-2019-like capacity sample: 6,419 relays, largest 998 Mbit/s,
-  // total ~608 Gbit/s, measured by three 1 Gbit/s measurers.
-  analysis::PopulationParams pop;
-  pop.lognormal_mu = 17.42;  // calibrates the total toward ~608 Gbit/s
-  pop.lognormal_sigma = 1.45;
-  pop.max_capacity_bits = 998e6;
-  const auto spec =
-      scenario::ScenarioBuilder("sec7")
-          .synthetic(pop, 6419)
-          .measurer_capacities({net::gbit(1), net::gbit(1), net::gbit(1)})
-          .seed(cli.seed)
-          .build();
   const scenario::Scenario scenario(spec);
   const auto plan = scenario.plan();
   const double hours = plan.simulated_seconds / 3600.0;

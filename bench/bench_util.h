@@ -27,6 +27,53 @@ struct CliOptions {
   int threads = 1;
 };
 
+/// Strict whole-token integer flag parse shared by the bench binaries.
+/// std::atoi cannot distinguish 0 from an error and accepts trailing
+/// garbage ("2k" runs as 2); this rejects partial tokens, empty values and
+/// out-of-range numbers, exiting 2 with a message naming the flag.
+inline long parse_int_flag(const char* value, long min, long max,
+                           const char* flag, const char* argv0) {
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || n < min || n > max) {
+    std::cerr << argv0 << ": " << flag << " needs an integer in [" << min
+              << ", " << max << "], got '" << value << "'\n";
+    std::exit(2);
+  }
+  return n;
+}
+
+/// Peels `--scenario FILE` / `--scenario=FILE` out of argv (so a later
+/// parse_cli never sees it) and returns the file to load, or
+/// `fallback` — the binary's checked-in scenario file — when the flag is
+/// absent. Mutates argc/argv in place, shifting later arguments down.
+inline std::string take_scenario_flag(int& argc, char** argv,
+                                      std::string fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    int consumed = 0;
+    if (arg == "--scenario") {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": --scenario needs a file\n";
+        std::exit(2);
+      }
+      path = argv[i + 1];
+      consumed = 2;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      path = arg.substr(std::string("--scenario=").size());
+      consumed = 1;
+    } else {
+      continue;
+    }
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return path;
+  }
+  return fallback;
+}
+
 /// Parses `--seed=N`/`--seed N` and (when the binary uses the campaign
 /// worker pool — `accepts_threads`) `--threads=N`/`--threads N`;
 /// `--help` prints usage and exits. Unknown or malformed arguments abort
@@ -75,16 +122,8 @@ inline CliOptions parse_cli(int argc, char** argv,
       }
     } else if (const char* v2 =
                    accepts_threads ? value_of(arg, "threads", i) : nullptr) {
-      char* end = nullptr;
-      errno = 0;
-      const long threads = std::strtol(v2, &end, 10);
-      if (end == v2 || *end != '\0' || errno == ERANGE || threads < 0 ||
-          threads > 4096) {
-        std::cerr << argv[0] << ": --threads needs an integer in [0, 4096] "
-                  << "(0 = all cores), got '" << v2 << "'\n";
-        std::exit(2);
-      }
-      options.threads = static_cast<int>(threads);
+      options.threads = static_cast<int>(
+          parse_int_flag(v2, 0, 4096, "--threads (0 = all cores)", argv[0]));
     } else {
       std::cerr << argv[0] << ": unknown argument '" << arg
                 << "' (try --help)\n";

@@ -9,28 +9,26 @@
 // improves period over period. At the end the final period is emitted as
 // a Tor bandwidth file.
 //
-//   ./examples/example_measure_network
+//   ./examples/example_measure_network [scenario-file]
 #include <iostream>
 #include <sstream>
 
 #include "net/units.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 
 using namespace flashflow;
 
-int main() {
-  // A 5%-scale Tor network (328 relays) measured by the three built-in
-  // 1 Gbit/s measurers over three 24-hour periods.
-  scenario::Experiment experiment(
-      scenario::ScenarioBuilder("measure-network")
-          .shadow_net(shadowsim::ShadowNetParams{}, 11)
-          .measurer_capacities({net::gbit(1), net::gbit(1), net::gbit(1)})
-          .schedule(campaign::ScheduleMode::kRandomized)
-          .periods(3)
-          .threads(0)  // all cores; results are thread-count independent
-          .seed(0x5EED)
-          .build());
+int main(int argc, char** argv) {
+  // The campaign is declared in scenarios/measure_network.yaml: a
+  // 5%-scale Tor network (328 relays) measured by the three built-in
+  // 1 Gbit/s measurers over three 24-hour periods. Pass a path to run a
+  // different scenario file.
+  const std::string path =
+      argc > 1 ? argv[1]
+               : scenario::default_scenario_dir() + "/measure_network.yaml";
+  scenario::Experiment experiment(scenario::load_scenario_file(path));
 
   std::cout << "Period | slots used | est. capacity (Gbit/s) | "
                "median |err| | mean |err|\n";

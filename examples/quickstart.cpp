@@ -6,23 +6,25 @@
 // verification. Here the paper's Table 1 vantage points measure one
 // 250 Mbit/s relay carrying 50 Mbit/s of client traffic.
 //
-//   ./examples/example_quickstart
+//   ./examples/example_quickstart [scenario-file]
 #include <iostream>
 
 #include "net/units.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 
 using namespace flashflow;
 
-int main() {
-  // Declare the experiment: one 250 Mbit/s relay on US-SW with 50 Mbit/s
-  // of background client traffic, measured by the four remaining Table 1
-  // hosts (their capacities estimated by the §4.2 iPerf mesh).
-  const scenario::Scenario scenario(
-      scenario::ScenarioBuilder("quickstart")
-          .table1_relays({250}, /*background_mbit=*/50)
-          .seed(2)
-          .build());
+int main(int argc, char** argv) {
+  // The experiment is declared in scenarios/quickstart.yaml: one
+  // 250 Mbit/s relay on US-SW with 50 Mbit/s of background client
+  // traffic, measured by the four remaining Table 1 hosts (their
+  // capacities estimated by the §4.2 iPerf mesh). Pass a path to run a
+  // different scenario file.
+  const std::string path =
+      argc > 1 ? argv[1]
+               : scenario::default_scenario_dir() + "/quickstart.yaml";
+  const scenario::Scenario scenario(scenario::load_scenario_file(path));
 
   // The measurer team, resolved from the mesh.
   const auto& mat = scenario.materialized();

@@ -54,6 +54,9 @@ struct PopulationParams {
   double min_capacity_bits = 0.25e6;  // slowest useful relays
   /// Fraction of relays configured with a rate limit below capacity.
   double rate_limited_fraction = 0.12;
+
+  friend bool operator==(const PopulationParams&,
+                         const PopulationParams&) = default;
 };
 
 /// Generates the full population covering `days` of simulated time.

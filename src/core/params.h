@@ -30,6 +30,10 @@ struct Params {
   /// Measurement period: every relay is measured once per period (§4.3).
   sim::SimDuration period = sim::kDay;
 
+  /// Parameter sets are value types (scenario round-trip tests compare
+  /// whole specs).
+  friend bool operator==(const Params&, const Params&) = default;
+
   /// Excess allocation factor f = m (1 + eps2) / (1 - eps1) (§4.2).
   double excess_factor() const {
     return multiplier * (1.0 + epsilon2) / (1.0 - epsilon1);

@@ -69,6 +69,7 @@ Experiment::Result Experiment::run(campaign::SlotSink* sink,
     config.measurer_capacity_bits = measurer_caps_;
     config.schedule = spec_.schedule;
     config.threads = spec_.threads;
+    config.shard_slots = spec_.shard_slots;
     config.seed = period_seed(spec_, period);
     config.record_outcomes = spec_.record_outcomes;
     const campaign::CampaignRunner runner(materialized_.topology,

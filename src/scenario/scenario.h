@@ -46,6 +46,9 @@ struct Table1PopulationSpec {
   double background_mbit = 0.0;
   /// Scheduling prior z0 per relay; <= 0 means oracle prior.
   double prior_mbit = 0.0;
+
+  friend bool operator==(const Table1PopulationSpec&,
+                         const Table1PopulationSpec&) = default;
 };
 
 /// The §7 Shadow-style private Tor network: ~328 relays with advertised
@@ -53,6 +56,9 @@ struct Table1PopulationSpec {
 struct ShadowPopulationSpec {
   shadowsim::ShadowNetParams params;
   std::uint64_t seed = 11;
+
+  friend bool operator==(const ShadowPopulationSpec&,
+                         const ShadowPopulationSpec&) = default;
 };
 
 /// Capacities sampled from the §3 population mixture; relays are placed on
@@ -64,6 +70,9 @@ struct SyntheticPopulationSpec {
   int relays = 0;
   /// Scheduling prior as a fraction of true capacity; <= 0 means oracle.
   double prior_fraction = 0.0;
+
+  friend bool operator==(const SyntheticPopulationSpec&,
+                         const SyntheticPopulationSpec&) = default;
 };
 
 using PopulationSpec = std::variant<Table1PopulationSpec, ShadowPopulationSpec,
@@ -78,6 +87,8 @@ struct AdversaryMix {
   double forger_fraction = 0.0;
 
   bool any() const { return liar_fraction > 0.0 || forger_fraction > 0.0; }
+
+  friend bool operator==(const AdversaryMix&, const AdversaryMix&) = default;
 };
 
 /// Background-traffic model: per-relay utilization (background demand as a
@@ -88,6 +99,9 @@ struct BackgroundModel {
   bool enabled = false;
   double utilization_mean = 0.0;
   double utilization_sd = 0.0;
+
+  friend bool operator==(const BackgroundModel&,
+                         const BackgroundModel&) = default;
 };
 
 /// The measurer team. Empty `measurer_names` selects the population's
@@ -98,6 +112,8 @@ struct TeamSpec {
   std::vector<std::string> measurer_names;
   /// Per-measurer capacity overrides; empty runs the §4.2 iPerf mesh.
   std::vector<double> capacity_bits;
+
+  friend bool operator==(const TeamSpec&, const TeamSpec&) = default;
 };
 
 struct ScenarioSpec {
@@ -122,6 +138,9 @@ struct ScenarioSpec {
   /// Validates the spec (params + fractions + population/team coherence);
   /// throws std::invalid_argument.
   void validate() const;
+
+  /// Whole-spec equality (scenario-file round-trip fidelity tests).
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
 /// Fluent spec composition. Every setter returns *this; build() validates.

@@ -1,0 +1,479 @@
+#include "scenario/serialize.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/strict_parse.h"
+
+namespace flashflow::scenario {
+
+namespace {
+
+// ------------------------------------------------------------- formatting ---
+
+/// Shortest text that parses back to exactly the same double
+/// (std::to_chars round-trip guarantee) — the serializer half of the
+/// format's round-trip fidelity promise.
+std::string fmt(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+bool plain_string(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '-' || c == '.' || c == '/';
+  });
+}
+
+/// Bare when possible, double-quoted when the text would not survive the
+/// line format (spaces, '#', ',', ...).
+std::string fmt(const std::string& s) {
+  return plain_string(s) ? s : "\"" + s + "\"";
+}
+
+std::string fmt_list(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out += (i ? ", " : "") + fmt(values[i]);
+  return out + "]";
+}
+
+std::string fmt_list(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out += (i ? ", " : "") + fmt(values[i]);
+  return out + "]";
+}
+
+// ---------------------------------------------------------------- parsing ---
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Strips an optional matched pair of double quotes.
+std::string unquote(std::string_view s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+    return std::string(s.substr(1, s.size() - 2));
+  return std::string(s);
+}
+
+/// The `key: value` lines of one scenario file, with duplicate detection,
+/// typed access, and unknown-key reporting. Every diagnostic is prefixed
+/// "<source>:<line>:" so a malformed file points at itself.
+class ScenarioText {
+ public:
+  ScenarioText(const std::string& text, std::string source)
+      : source_(std::move(source)) {
+    std::istringstream in(text);
+    std::string raw;
+    for (int line = 1; std::getline(in, raw); ++line) {
+      std::string_view rest = strip_comment(raw);
+      rest = trim(rest);
+      if (rest.empty()) continue;
+      const auto colon = rest.find(':');
+      if (colon == std::string_view::npos)
+        fail(line, "expected 'key: value', got '" + std::string(rest) + "'");
+      const std::string key{trim(rest.substr(0, colon))};
+      if (key.empty() || !plain_string(key))
+        fail(line, "malformed key '" + key + "'");
+      const std::string value{trim(rest.substr(colon + 1))};
+      if (value.empty()) fail(line, "key '" + key + "' has no value");
+      const auto [it, inserted] = entries_.emplace(key, Entry{value, line});
+      if (!inserted)
+        fail(line, "duplicate key '" + key + "' (first set on line " +
+                       std::to_string(it->second.line) + ")");
+    }
+  }
+
+  [[noreturn]] void fail(int line, const std::string& message) const {
+    throw std::invalid_argument(source_ + ":" + std::to_string(line) + ": " +
+                                message);
+  }
+
+  bool has(const std::string& key) const { return entries_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, std::string fallback) {
+    const Entry* e = find(key);
+    return e ? unquote(e->value) : std::move(fallback);
+  }
+
+  std::string require_string(const std::string& key) {
+    const Entry* e = find(key);
+    if (!e)
+      throw std::invalid_argument(source_ + ": missing required key '" +
+                                  key + "'");
+    return unquote(e->value);
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    const Entry* e = find(key);
+    return e ? util::parse_double(e->value, label(key, e)) : fallback;
+  }
+
+  int get_int(const std::string& key, int fallback) {
+    const Entry* e = find(key);
+    return e ? util::parse_int(e->value, label(key, e)) : fallback;
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) {
+    const Entry* e = find(key);
+    return e ? util::parse_u64(e->value, label(key, e)) : fallback;
+  }
+
+  bool get_bool(const std::string& key, bool fallback) {
+    const Entry* e = find(key);
+    return e ? util::parse_bool(e->value, label(key, e)) : fallback;
+  }
+
+  std::vector<double> get_double_list(const std::string& key) {
+    std::vector<double> out;
+    const Entry* e = find(key);
+    if (!e) return out;
+    for (const auto& item : split_list(key, e))
+      out.push_back(util::parse_double(item, label(key, e)));
+    return out;
+  }
+
+  std::vector<std::string> get_string_list(const std::string& key) {
+    std::vector<std::string> out;
+    const Entry* e = find(key);
+    if (!e) return out;
+    for (const auto& item : split_list(key, e)) out.push_back(unquote(item));
+    return out;
+  }
+
+  /// The line an already-consumed key was set on (diagnostics).
+  int line_of(const std::string& key) const {
+    return entries_.at(key).line;
+  }
+
+  /// Fails on the first (lowest-line) key no getter consumed. `population`
+  /// names the active population source so a valid-but-inapplicable
+  /// section gets a better message than "unknown key".
+  void reject_unused(const std::string& population) const {
+    const Entry* first = nullptr;
+    const std::string* first_key = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (entry.used) continue;
+      if (!first || entry.line < first->line) {
+        first = &entry;
+        first_key = &key;
+      }
+    }
+    if (!first) return;
+    for (const char* section : {"table1", "shadow", "synthetic"}) {
+      if (first_key->rfind(std::string(section) + ".", 0) == 0 &&
+          population != section)
+        fail(first->line, "key '" + *first_key +
+                              "' does not apply (population is '" +
+                              population + "')");
+    }
+    fail(first->line, "unknown key '" + *first_key + "'");
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    int line = 0;
+    mutable bool used = false;
+  };
+
+  /// "<source>:<line>: key '<key>'" — the `what` handed to the strict
+  /// numeric parsers, so their messages come out fully located.
+  std::string label(const std::string& key, const Entry* e) const {
+    return source_ + ":" + std::to_string(e->line) + ": key '" + key + "'";
+  }
+
+  const Entry* find(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    it->second.used = true;
+    return &it->second;
+  }
+
+  std::vector<std::string> split_list(const std::string& key,
+                                      const Entry* e) const {
+    const std::string_view value = e->value;
+    if (value.size() < 2 || value.front() != '[' || value.back() != ']')
+      fail(e->line, "key '" + key + "': expected a list like [a, b], got '" +
+                        e->value + "'");
+    std::vector<std::string> items;
+    std::string_view body = trim(value.substr(1, value.size() - 2));
+    if (body.empty()) return items;  // []
+    while (true) {
+      const auto comma = body.find(',');
+      const std::string_view item = trim(body.substr(0, comma));
+      if (item.empty())
+        fail(e->line, "key '" + key + "': empty list element");
+      items.emplace_back(item);
+      if (comma == std::string_view::npos) break;
+      body = body.substr(comma + 1);
+    }
+    return items;
+  }
+
+  /// '#' opens a comment at the start of a line or after whitespace;
+  /// "US-SW#3" stays intact, and nothing inside a double-quoted value
+  /// ("a #tag") is a comment.
+  static std::string_view strip_comment(std::string_view line) {
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (!quoted && line[i] == '#' &&
+          (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t'))
+        return line.substr(0, i);
+    }
+    return line;
+  }
+
+  const std::string source_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace
+
+// -------------------------------------------------------------- serialize ---
+
+std::string serialize_scenario(const ScenarioSpec& spec) {
+  spec.validate();
+  std::ostringstream out;
+  out << "# FlashFlow scenario (format version 1). One 'key: value' per\n"
+         "# line, dotted keys for nesting, inline [a, b] lists; absent\n"
+         "# keys keep their defaults. See README \"Scenario files\".\n"
+      << "flashflow_scenario: 1\n"
+      << "name: " << fmt(spec.name) << "\n"
+      << "seed: " << spec.seed << "\n"
+      << "periods: " << spec.periods << "\n"
+      << "threads: " << spec.threads << "\n"
+      << "shard_slots: " << spec.shard_slots << "\n"
+      << "schedule: "
+      << (spec.schedule == campaign::ScheduleMode::kGreedyPack
+              ? "greedy_pack"
+              : "randomized")
+      << "\n"
+      << "record_outcomes: "
+      << (spec.record_outcomes ? "true" : "false") << "\n\n";
+
+  if (const auto* t1 = std::get_if<Table1PopulationSpec>(&spec.population)) {
+    out << "population: table1\n"
+        << "table1.rate_limits_mbit: " << fmt_list(t1->rate_limit_mbit)
+        << "\n"
+        << "table1.relay_host: " << fmt(t1->relay_host) << "\n"
+        << "table1.background_mbit: " << fmt(t1->background_mbit) << "\n"
+        << "table1.prior_mbit: " << fmt(t1->prior_mbit) << "\n";
+  } else if (const auto* shadow =
+                 std::get_if<ShadowPopulationSpec>(&spec.population)) {
+    const shadowsim::ShadowNetParams& p = shadow->params;
+    out << "population: shadow\n"
+        << "shadow.seed: " << shadow->seed << "\n"
+        << "shadow.relays: " << p.relays << "\n"
+        << "shadow.capacity_mu: " << fmt(p.capacity_mu) << "\n"
+        << "shadow.capacity_sigma: " << fmt(p.capacity_sigma) << "\n"
+        << "shadow.max_capacity_bits: " << fmt(p.max_capacity_bits) << "\n"
+        << "shadow.min_capacity_bits: " << fmt(p.min_capacity_bits) << "\n"
+        << "shadow.advertised_mean: " << fmt(p.advertised_mean) << "\n"
+        << "shadow.advertised_sd: " << fmt(p.advertised_sd) << "\n"
+        << "shadow.contention_mean: " << fmt(p.contention_mean) << "\n"
+        << "shadow.contention_sd: " << fmt(p.contention_sd) << "\n";
+  } else {
+    const auto& syn = std::get<SyntheticPopulationSpec>(spec.population);
+    const analysis::PopulationParams& p = syn.params;
+    out << "population: synthetic\n"
+        << "synthetic.relays: " << syn.relays << "\n"
+        << "synthetic.prior_fraction: " << fmt(syn.prior_fraction) << "\n"
+        << "synthetic.initial_relays: " << p.initial_relays << "\n"
+        << "synthetic.growth_per_year: " << fmt(p.growth_per_year) << "\n"
+        << "synthetic.churn_per_day: " << fmt(p.churn_per_day) << "\n"
+        << "synthetic.lognormal_mu: " << fmt(p.lognormal_mu) << "\n"
+        << "synthetic.lognormal_sigma: " << fmt(p.lognormal_sigma) << "\n"
+        << "synthetic.max_capacity_bits: " << fmt(p.max_capacity_bits)
+        << "\n"
+        << "synthetic.min_capacity_bits: " << fmt(p.min_capacity_bits)
+        << "\n"
+        << "synthetic.rate_limited_fraction: "
+        << fmt(p.rate_limited_fraction) << "\n";
+  }
+
+  out << "\nteam.measurers: " << fmt_list(spec.team.measurer_names) << "\n"
+      << "team.capacity_bits: " << fmt_list(spec.team.capacity_bits)
+      << "\n\n"
+      << "adversaries.liar_fraction: "
+      << fmt(spec.adversaries.liar_fraction) << "\n"
+      << "adversaries.forger_fraction: "
+      << fmt(spec.adversaries.forger_fraction) << "\n\n"
+      << "background.enabled: "
+      << (spec.background.enabled ? "true" : "false") << "\n"
+      << "background.utilization_mean: "
+      << fmt(spec.background.utilization_mean) << "\n"
+      << "background.utilization_sd: "
+      << fmt(spec.background.utilization_sd) << "\n\n"
+      << "params.sockets: " << spec.params.sockets << "\n"
+      << "params.multiplier: " << fmt(spec.params.multiplier) << "\n"
+      << "params.slot_seconds: " << spec.params.slot_seconds << "\n"
+      << "params.epsilon1: " << fmt(spec.params.epsilon1) << "\n"
+      << "params.epsilon2: " << fmt(spec.params.epsilon2) << "\n"
+      << "params.ratio: " << fmt(spec.params.ratio) << "\n"
+      << "params.check_probability: " << fmt(spec.params.check_probability)
+      << "\n"
+      << "params.period_seconds: "
+      << fmt(sim::to_seconds(spec.params.period)) << "\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------------ parse ---
+
+ScenarioSpec parse_scenario(const std::string& text,
+                            const std::string& source) {
+  ScenarioText in(text, source);
+  ScenarioSpec spec;
+
+  if (in.has("flashflow_scenario")) {
+    const int version = in.get_int("flashflow_scenario", 1);
+    if (version != 1)
+      in.fail(in.line_of("flashflow_scenario"),
+              "unsupported scenario-format version " +
+                  std::to_string(version) + " (this build reads version 1)");
+  }
+
+  spec.name = in.get_string("name", spec.name);
+  spec.seed = in.get_u64("seed", spec.seed);
+  spec.periods = in.get_int("periods", spec.periods);
+  spec.threads = in.get_int("threads", spec.threads);
+  spec.shard_slots = in.get_int("shard_slots", spec.shard_slots);
+  spec.record_outcomes =
+      in.get_bool("record_outcomes", spec.record_outcomes);
+
+  const std::string schedule = in.get_string("schedule", "greedy_pack");
+  if (schedule == "greedy_pack") {
+    spec.schedule = campaign::ScheduleMode::kGreedyPack;
+  } else if (schedule == "randomized") {
+    spec.schedule = campaign::ScheduleMode::kRandomized;
+  } else {
+    in.fail(in.line_of("schedule"),
+            "key 'schedule': expected greedy_pack or randomized, got '" +
+                schedule + "'");
+  }
+
+  const std::string population = in.require_string("population");
+  if (population == "table1") {
+    Table1PopulationSpec t1;
+    t1.rate_limit_mbit = in.get_double_list("table1.rate_limits_mbit");
+    t1.relay_host = in.get_string("table1.relay_host", t1.relay_host);
+    t1.background_mbit =
+        in.get_double("table1.background_mbit", t1.background_mbit);
+    t1.prior_mbit = in.get_double("table1.prior_mbit", t1.prior_mbit);
+    spec.population = std::move(t1);
+  } else if (population == "shadow") {
+    ShadowPopulationSpec shadow;
+    shadowsim::ShadowNetParams& p = shadow.params;
+    shadow.seed = in.get_u64("shadow.seed", shadow.seed);
+    p.relays = in.get_int("shadow.relays", p.relays);
+    p.capacity_mu = in.get_double("shadow.capacity_mu", p.capacity_mu);
+    p.capacity_sigma =
+        in.get_double("shadow.capacity_sigma", p.capacity_sigma);
+    p.max_capacity_bits =
+        in.get_double("shadow.max_capacity_bits", p.max_capacity_bits);
+    p.min_capacity_bits =
+        in.get_double("shadow.min_capacity_bits", p.min_capacity_bits);
+    p.advertised_mean =
+        in.get_double("shadow.advertised_mean", p.advertised_mean);
+    p.advertised_sd = in.get_double("shadow.advertised_sd", p.advertised_sd);
+    p.contention_mean =
+        in.get_double("shadow.contention_mean", p.contention_mean);
+    p.contention_sd = in.get_double("shadow.contention_sd", p.contention_sd);
+    spec.population = shadow;
+  } else if (population == "synthetic") {
+    SyntheticPopulationSpec syn;
+    analysis::PopulationParams& p = syn.params;
+    syn.relays = in.get_int("synthetic.relays", syn.relays);
+    syn.prior_fraction =
+        in.get_double("synthetic.prior_fraction", syn.prior_fraction);
+    p.initial_relays = in.get_int("synthetic.initial_relays",
+                                  p.initial_relays);
+    p.growth_per_year =
+        in.get_double("synthetic.growth_per_year", p.growth_per_year);
+    p.churn_per_day =
+        in.get_double("synthetic.churn_per_day", p.churn_per_day);
+    p.lognormal_mu = in.get_double("synthetic.lognormal_mu", p.lognormal_mu);
+    p.lognormal_sigma =
+        in.get_double("synthetic.lognormal_sigma", p.lognormal_sigma);
+    p.max_capacity_bits =
+        in.get_double("synthetic.max_capacity_bits", p.max_capacity_bits);
+    p.min_capacity_bits =
+        in.get_double("synthetic.min_capacity_bits", p.min_capacity_bits);
+    p.rate_limited_fraction = in.get_double(
+        "synthetic.rate_limited_fraction", p.rate_limited_fraction);
+    spec.population = syn;
+  } else {
+    in.fail(in.line_of("population"),
+            "key 'population': expected table1, shadow or synthetic, "
+            "got '" + population + "'");
+  }
+
+  spec.team.measurer_names = in.get_string_list("team.measurers");
+  spec.team.capacity_bits = in.get_double_list("team.capacity_bits");
+
+  spec.adversaries.liar_fraction =
+      in.get_double("adversaries.liar_fraction", 0.0);
+  spec.adversaries.forger_fraction =
+      in.get_double("adversaries.forger_fraction", 0.0);
+
+  spec.background.enabled = in.get_bool("background.enabled", false);
+  spec.background.utilization_mean =
+      in.get_double("background.utilization_mean", 0.0);
+  spec.background.utilization_sd =
+      in.get_double("background.utilization_sd", 0.0);
+
+  spec.params.sockets = in.get_int("params.sockets", spec.params.sockets);
+  spec.params.multiplier =
+      in.get_double("params.multiplier", spec.params.multiplier);
+  spec.params.slot_seconds =
+      in.get_int("params.slot_seconds", spec.params.slot_seconds);
+  spec.params.epsilon1 =
+      in.get_double("params.epsilon1", spec.params.epsilon1);
+  spec.params.epsilon2 =
+      in.get_double("params.epsilon2", spec.params.epsilon2);
+  spec.params.ratio = in.get_double("params.ratio", spec.params.ratio);
+  spec.params.check_probability = in.get_double(
+      "params.check_probability", spec.params.check_probability);
+  if (in.has("params.period_seconds"))
+    spec.params.period = sim::from_seconds(
+        in.get_double("params.period_seconds", 0.0));
+
+  in.reject_unused(population);
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::invalid_argument("cannot open scenario file: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_scenario(text.str(), path);
+}
+
+std::string default_scenario_dir() {
+#ifdef FLASHFLOW_SCENARIO_DIR
+  return FLASHFLOW_SCENARIO_DIR;
+#else
+  return "scenarios";
+#endif
+}
+
+}  // namespace flashflow::scenario

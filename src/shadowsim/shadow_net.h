@@ -51,6 +51,9 @@ struct ShadowNetParams {
   // Shadow contention factor distribution (Fig 8a: median error 16%).
   double contention_mean = 0.84;
   double contention_sd = 0.12;
+
+  friend bool operator==(const ShadowNetParams&,
+                         const ShadowNetParams&) = default;
 };
 
 struct ShadowNet {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/units.h"
+#include "util/strict_parse.h"
 
 namespace flashflow::tor {
 
@@ -52,11 +53,10 @@ ParsedBandwidthFile parse_bandwidth_file(const std::string& text) {
 
   if (!std::getline(in, line))
     throw std::invalid_argument("bandwidth file: empty");
-  try {
-    parsed.header.timestamp = std::stoll(line);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bandwidth file: bad timestamp: " + line);
-  }
+  // Strict whole-line parse: a corrupted timestamp line ("123abc") must be
+  // rejected, not silently truncated to 123.
+  parsed.header.timestamp =
+      util::parse_i64(line, "bandwidth file: timestamp");
 
   bool in_header = true;
   while (std::getline(in, line)) {
@@ -84,13 +84,17 @@ ParsedBandwidthFile parse_bandwidth_file(const std::string& text) {
         entry.fingerprint =
             !value.empty() && value[0] == '$' ? value.substr(1) : value;
       } else if (key == "bw") {
-        const double kb = std::stod(value);
+        // Whole-token parse naming the key: "bw=12junk" is corruption, not
+        // a 12 KB/s relay; overflow reports the offending value too.
+        const double kb = util::parse_double(value, "bandwidth file: "
+                                                    "key 'bw'");
         if (kb < 0.0)
           throw std::invalid_argument("bandwidth file: negative bw");
         entry.weight = kb * kBitsPerKByte;
         have_bw = true;
       } else if (key == "flashflow_capacity_mbits") {
-        const double mbits = std::stod(value);
+        const double mbits = util::parse_double(
+            value, "bandwidth file: key 'flashflow_capacity_mbits'");
         if (mbits < 0.0)
           throw std::invalid_argument("bandwidth file: negative capacity");
         entry.capacity_bits = net::mbit(mbits);

@@ -1,0 +1,89 @@
+// Bench-binary CLI parsing (bench/bench_util.h).
+//
+// Regression suite for the atoi-era flag parsing: `--relays 2k` used to
+// run a 2-relay campaign (atoi stops at the first non-digit), and
+// `--repeat ''` ran once. The shared parse_int_flag helper must instead
+// exit 2 with a message naming the flag — death tests, since the helper
+// terminates the process by design.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace flashflow::bench {
+namespace {
+
+TEST(BenchCli, ParseIntFlagAcceptsWholeTokens) {
+  EXPECT_EQ(parse_int_flag("200", 1, 1000000, "--relays", "bench"), 200);
+  EXPECT_EQ(parse_int_flag("1", 1, 100, "--repeat", "bench"), 1);
+  EXPECT_EQ(parse_int_flag("0", 0, 4096, "--threads", "bench"), 0);
+}
+
+TEST(BenchCliDeathTest, TrailingGarbageExits2) {
+  // The motivating bug: atoi("2k") == 2 silently shrank the campaign.
+  EXPECT_EXIT(parse_int_flag("2k", 1, 1000000, "--relays", "bench"),
+              ::testing::ExitedWithCode(2), "--relays.*'2k'");
+}
+
+TEST(BenchCliDeathTest, EmptyValueExits2) {
+  EXPECT_EXIT(parse_int_flag("", 1, 100, "--repeat", "bench"),
+              ::testing::ExitedWithCode(2), "--repeat");
+}
+
+TEST(BenchCliDeathTest, OutOfRangeExits2) {
+  EXPECT_EXIT(parse_int_flag("0", 1, 100, "--repeat", "bench"),
+              ::testing::ExitedWithCode(2), "--repeat.*'0'");
+  EXPECT_EXIT(
+      parse_int_flag("99999999999999999999", 1, 1000000, "--relays", "bench"),
+      ::testing::ExitedWithCode(2), "--relays");
+}
+
+/// Builds a mutable argv for parse_cli/take_scenario_flag.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& arg : storage) pointers.push_back(arg.data());
+  }
+  int argc() { return static_cast<int>(pointers.size()); }
+  char** argv() { return pointers.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> pointers;
+};
+
+TEST(BenchCli, ParseCliReadsSeedAndThreads) {
+  Argv args({"bench", "--seed=42", "--threads", "4"});
+  const CliOptions options = parse_cli(args.argc(), args.argv(), 1);
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_EQ(options.threads, 4);
+}
+
+TEST(BenchCliDeathTest, ParseCliRejectsMalformedThreads) {
+  Argv args({"bench", "--threads", "8x"});
+  EXPECT_EXIT(parse_cli(args.argc(), args.argv(), 1),
+              ::testing::ExitedWithCode(2), "--threads.*'8x'");
+}
+
+TEST(BenchCli, TakeScenarioFlagPeelsFlagAndShiftsArgv) {
+  Argv args({"bench", "--scenario", "custom.yaml", "--seed=9"});
+  int argc = args.argc();
+  const std::string path =
+      take_scenario_flag(argc, args.argv(), "default.yaml");
+  EXPECT_EQ(path, "custom.yaml");
+  ASSERT_EQ(argc, 2);
+  // The remaining argv must still parse cleanly (parse_cli rejects
+  // leftovers it does not know).
+  EXPECT_EQ(std::string(args.argv()[1]), "--seed=9");
+  EXPECT_EQ(parse_cli(argc, args.argv(), 1).seed, 9u);
+}
+
+TEST(BenchCli, TakeScenarioFlagFallsBack) {
+  Argv args({"bench", "--seed=9"});
+  int argc = args.argc();
+  EXPECT_EQ(take_scenario_flag(argc, args.argv(), "default.yaml"),
+            "default.yaml");
+  EXPECT_EQ(argc, 2);
+}
+
+}  // namespace
+}  // namespace flashflow::bench

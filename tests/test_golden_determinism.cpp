@@ -31,6 +31,7 @@
 #include "campaign/sink.h"
 #include "net/units.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 #include "sim/random.h"
 #include "tor/cpu_model.h"
 
@@ -77,7 +78,9 @@ std::string campaign_csv(int threads) {
   return out.str();
 }
 
-std::string scenario_csv(int threads) {
+/// The golden scenario as a ScenarioBuilder program. scenario_file_spec()
+/// must parse to exactly this spec.
+scenario::ScenarioSpec golden_builder_spec(int threads) {
   // Covers the scenario materialization path on top of the campaign
   // engine: synthetic population, adversary mix, background model, and the
   // randomized §4.3 schedule.
@@ -85,23 +88,41 @@ std::string scenario_csv(int threads) {
   pop.lognormal_mu = 17.0;
   pop.lognormal_sigma = 1.2;
   pop.max_capacity_bits = 900e6;
-  const scenario::Scenario scenario(
-      scenario::ScenarioBuilder("golden")
-          .synthetic(pop, 40, /*prior_fraction=*/0.8)
-          .measurer_capacities({net::mbit(800), net::mbit(800),
-                                net::mbit(800)})
-          .liars(0.10)
-          .forgers(0.10)
-          .background_utilization(0.2, 0.1)
-          .schedule(campaign::ScheduleMode::kRandomized)
-          .threads(threads)
-          .shard_slots(forced_shard())
-          .seed(20210613)
-          .build());
+  return scenario::ScenarioBuilder("golden")
+      .synthetic(pop, 40, /*prior_fraction=*/0.8)
+      .measurer_capacities({net::mbit(800), net::mbit(800),
+                            net::mbit(800)})
+      .liars(0.10)
+      .forgers(0.10)
+      .background_utilization(0.2, 0.1)
+      .schedule(campaign::ScheduleMode::kRandomized)
+      .threads(threads)
+      .shard_slots(forced_shard())
+      .seed(20210613)
+      .build();
+}
+
+/// The same scenario loaded from the checked-in scenario file (what
+/// `flashflow run scenarios/golden_smoke.yaml` executes), with the
+/// thread/shard knobs applied the way the CLI's flags would.
+scenario::ScenarioSpec scenario_file_spec(int threads) {
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(
+      scenario::default_scenario_dir() + "/golden_smoke.yaml");
+  spec.threads = threads;
+  spec.shard_slots = forced_shard();
+  return spec;
+}
+
+std::string spec_csv(const scenario::ScenarioSpec& spec) {
+  const scenario::Scenario scenario(spec);
   std::ostringstream out;
   campaign::CsvSink sink(out);
   scenario.run(sink);
   return out.str();
+}
+
+std::string scenario_csv(int threads) {
+  return spec_csv(golden_builder_spec(threads));
 }
 
 TEST(GoldenDeterminism, CampaignCsvBytesMatchRecordedBaseline) {
@@ -116,6 +137,30 @@ TEST(GoldenDeterminism, CampaignCsvBytesMatchRecordedBaseline) {
   if (forced <= 0) {
     EXPECT_EQ(csv, campaign_csv(/*threads=*/8));
   }
+}
+
+TEST(GoldenDeterminism, ScenarioFileMatchesBuilderSpecAndGoldenBytes) {
+  const int forced = forced_threads();
+  const int threads = forced > 0 ? forced : 1;
+
+  // The checked-in file and the builder program describe the same
+  // experiment, field for field...
+  const scenario::ScenarioSpec from_file = scenario_file_spec(threads);
+  EXPECT_EQ(from_file, golden_builder_spec(threads))
+      << "scenarios/golden_smoke.yaml drifted from the builder program";
+
+  // ...and running the file-loaded spec produces the same pinned bytes,
+  // so `flashflow run scenarios/golden_smoke.yaml` is covered by the
+  // golden hash too.
+  const std::string csv = spec_csv(from_file);
+  EXPECT_EQ(sim::hash_tag(csv), kScenarioCsvHash)
+      << "scenario-file CSV bytes shifted (threads=" << threads
+      << ", shard=" << forced_shard() << "); new hash 0x" << std::hex
+      << sim::hash_tag(csv);
+
+  // The file also survives a serialize/parse round trip unchanged.
+  EXPECT_EQ(scenario::parse_scenario(scenario::serialize_scenario(from_file)),
+            from_file);
 }
 
 TEST(GoldenDeterminism, ScenarioCsvBytesMatchRecordedBaseline) {

@@ -1,0 +1,252 @@
+// Scenario-file serialization (scenario/serialize.h).
+//
+// Two contracts under test. Round-trip fidelity: parse(serialize(spec))
+// must reproduce the spec *exactly* (operator== over every field —
+// doubles are emitted in shortest-round-trip form, so no precision is
+// shed). Diagnostics: a malformed file must throw std::invalid_argument
+// naming the offending key and line, because scenario files are the
+// user-facing input surface and "parse error" without a location is
+// useless at 30 lines.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/units.h"
+#include "scenario/scenario.h"
+#include "scenario/serialize.h"
+
+namespace flashflow::scenario {
+namespace {
+
+/// Expects parse_scenario(text) to throw with a message containing every
+/// fragment (key names, line numbers, the bad value).
+void expect_parse_error(const std::string& text,
+                        std::initializer_list<const char*> fragments) {
+  try {
+    parse_scenario(text, "test.yaml");
+    FAIL() << "expected std::invalid_argument for:\n" << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const char* fragment : fragments)
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "message '" << what << "' missing '" << fragment << "'";
+  }
+}
+
+ScenarioSpec synthetic_spec() {
+  analysis::PopulationParams pop;
+  pop.lognormal_mu = 17.42;
+  pop.lognormal_sigma = 1.45;
+  pop.max_capacity_bits = 998e6;
+  return ScenarioBuilder("synthetic-rt")
+      .synthetic(pop, 6419, /*prior_fraction=*/0.37)
+      .measurer_capacities({net::gbit(1), net::gbit(1.5)})
+      .liars(0.03)
+      .forgers(0.07)
+      .background_utilization(0.21, 0.092)
+      .schedule(campaign::ScheduleMode::kRandomized)
+      .periods(4)
+      .threads(8)
+      .shard_slots(16)
+      .seed(0xDEADBEEFCAFEF00DULL)
+      .record_outcomes()
+      .build();
+}
+
+TEST(ScenarioSerialize, SyntheticRoundTripsExactly) {
+  const ScenarioSpec spec = synthetic_spec();
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ScenarioSerialize, Table1RoundTripsExactly) {
+  core::Params params;
+  params.ratio = 0.1;
+  params.check_probability = 0.85;
+  const ScenarioSpec spec =
+      ScenarioBuilder("table1-rt")
+          .table1_relays({250, 0, 33.5}, /*background_mbit=*/50,
+                         /*prior_mbit=*/250)
+          .measurers({"NL", "US-E"})
+          .measurer_capacities({net::mbit(1611), net::mbit(900)})
+          .params(params)
+          .seed(20210607)
+          .build();
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ScenarioSerialize, ShadowRoundTripsExactly) {
+  shadowsim::ShadowNetParams net_params;
+  net_params.relays = 123;
+  net_params.capacity_mu = 16.9;
+  const ScenarioSpec spec =
+      ScenarioBuilder("shadow-rt")
+          .shadow_net(net_params, /*seed=*/17)
+          .measurer_capacities({net::gbit(1), net::gbit(1), net::gbit(1)})
+          .periods(2)
+          .seed(0x5EED)
+          .build();
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ScenarioSerialize, QuotedNameSurvivesRoundTrip) {
+  ScenarioSpec spec = synthetic_spec();
+  spec.name = "has spaces: and #punctuation";
+  EXPECT_EQ(parse_scenario(serialize_scenario(spec)).name, spec.name);
+}
+
+TEST(ScenarioSerialize, AbsentKeysKeepDefaults) {
+  // A minimal file — everything else must come out as the struct
+  // defaults, which is what makes checked-in scenarios this terse.
+  const ScenarioSpec spec = parse_scenario(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n");
+  EXPECT_EQ(spec, ScenarioBuilder().table1_relays({250}).build());
+}
+
+TEST(ScenarioSerialize, CommentsAndBlankLinesAreIgnored) {
+  const ScenarioSpec spec = parse_scenario(
+      "# header comment\n"
+      "\n"
+      "seed: 7   # trailing comment\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]   # one relay\n");
+  EXPECT_EQ(spec.seed, 7u);
+  // '#' only opens a comment after whitespace, so host names with '#'
+  // survive.
+  const ScenarioSpec host = parse_scenario(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "table1.relay_host: US-SW#3\n");
+  EXPECT_EQ(std::get<Table1PopulationSpec>(host.population).relay_host,
+            "US-SW#3");
+}
+
+// ------------------------------------------------------- malformed input ---
+
+TEST(ScenarioSerialize, UnknownKeyNamesKeyAndLine) {
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "table1.rate_limit_mbit: [100]\n",  // near-miss typo
+      {"test.yaml:3", "unknown key 'table1.rate_limit_mbit'"});
+}
+
+TEST(ScenarioSerialize, WrongTypeNamesKeyLineAndValue) {
+  expect_parse_error(
+      "seed: banana\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n",
+      {"test.yaml:1", "key 'seed'", "banana"});
+  expect_parse_error(
+      "periods: 2.5\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n",
+      {"test.yaml:1", "key 'periods'", "2.5"});
+  expect_parse_error(
+      "record_outcomes: yes\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n",
+      {"test.yaml:1", "key 'record_outcomes'", "yes"});
+}
+
+TEST(ScenarioSerialize, TrailingGarbageInNumberRejected) {
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40k\n"
+      "team.capacity_bits: [8e8]\n",
+      {"test.yaml:2", "key 'synthetic.relays'", "40k"});
+}
+
+TEST(ScenarioSerialize, MissingRequiredPopulation) {
+  expect_parse_error("seed: 1\n", {"missing required key 'population'"});
+}
+
+TEST(ScenarioSerialize, UnknownPopulationValue) {
+  expect_parse_error("population: labnet\n",
+                     {"test.yaml:1", "key 'population'", "labnet"});
+}
+
+TEST(ScenarioSerialize, DuplicateKeyNamesBothLines) {
+  expect_parse_error(
+      "seed: 1\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "seed: 2\n",
+      {"test.yaml:4", "duplicate key 'seed'", "line 1"});
+}
+
+TEST(ScenarioSerialize, WrongPopulationSectionGetsTargetedMessage) {
+  // A valid shadow key under a table1 population should say *why* it is
+  // rejected, not just "unknown key".
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "shadow.relays: 100\n",
+      {"test.yaml:3", "shadow.relays", "does not apply",
+       "population is 'table1'"});
+}
+
+TEST(ScenarioSerialize, MalformedListRejected) {
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: 250\n",  // missing brackets
+      {"test.yaml:2", "expected a list"});
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250, , 100]\n",
+      {"test.yaml:2", "empty list element"});
+}
+
+TEST(ScenarioSerialize, BadScheduleAndVersionRejected) {
+  expect_parse_error(
+      "schedule: fastest\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n",
+      {"test.yaml:1", "key 'schedule'", "fastest"});
+  expect_parse_error(
+      "flashflow_scenario: 2\n"
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n",
+      {"test.yaml:1", "version 2"});
+}
+
+TEST(ScenarioSerialize, LineWithoutColonRejected) {
+  expect_parse_error("just some text\n", {"test.yaml:1", "key: value"});
+}
+
+TEST(ScenarioSerialize, SemanticValidationStillRuns) {
+  // Syntactically fine, semantically invalid — spec.validate() fires
+  // (adversary fractions must sum to <= 1).
+  EXPECT_THROW(parse_scenario("population: table1\n"
+                              "table1.rate_limits_mbit: [250]\n"
+                              "adversaries.liar_fraction: 0.7\n"
+                              "adversaries.forger_fraction: 0.6\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSerialize, LoadFileReportsUnopenablePath) {
+  try {
+    load_scenario_file("/nonexistent/nope.yaml");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nope.yaml"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioSerialize, CheckedInScenariosAllParse) {
+  // The files the examples, benches and CI smoke job rely on.
+  for (const char* name :
+       {"quickstart", "measure_network", "fig07", "sec7", "golden_smoke"}) {
+    const std::string path =
+        default_scenario_dir() + "/" + name + ".yaml";
+    EXPECT_NO_THROW(load_scenario_file(path)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace flashflow::scenario

@@ -65,6 +65,38 @@ TEST(BandwidthFileFormat, ParserRejectsMalformedInput) {
       std::invalid_argument);
 }
 
+TEST(BandwidthFileFormat, RejectsTrailingGarbageInNumbers) {
+  // Regression: the stoll/stod-era parser accepted "123abc" as timestamp
+  // 123 and "bw=12junk" as a 12 KB/s relay — corruption silently
+  // truncated into plausible values. The strict parser must reject the
+  // whole token and name what it was parsing.
+  try {
+    parse_bandwidth_file("123abc\n=====\nnode_id=$A bw=10\n");
+    FAIL() << "trailing garbage in timestamp accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timestamp"), std::string::npos) << what;
+    EXPECT_NE(what.find("123abc"), std::string::npos) << what;
+  }
+  try {
+    parse_bandwidth_file("42\n=====\nnode_id=$A bw=12junk\n");
+    FAIL() << "trailing garbage in bw accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bw"), std::string::npos) << what;
+    EXPECT_NE(what.find("12junk"), std::string::npos) << what;
+  }
+  EXPECT_THROW(
+      parse_bandwidth_file(
+          "42\n=====\nnode_id=$A bw=10 flashflow_capacity_mbits=1.5x\n"),
+      std::invalid_argument);
+  // Overflow reports the offending value instead of a bare
+  // std::out_of_range from stoll.
+  EXPECT_THROW(parse_bandwidth_file("99999999999999999999999\n=====\n"
+                                    "node_id=$A bw=10\n"),
+               std::invalid_argument);
+}
+
 TEST(BandwidthFileFormat, IgnoresUnknownKeys) {
   const auto parsed = parse_bandwidth_file(
       "42\nversion=9.9\nfuture_header=yes\n=====\n"
