@@ -4,32 +4,33 @@
 // network capacity by ~200 Gbit/s (~50%), and network weight error rose by
 // 5-10 percentage points (to a max of 23%) before recovering.
 //
-// The experiment is declared as a scenario over the §3 synthetic
-// population and run through scenario::run_speed_test.
+// The experiment is the checked-in scenarios/fig05.yaml scenario file
+// (`--scenario FILE` substitutes another), run through
+// scenario::run_speed_test — the speedtest.* window keys carry the
+// §3.4 warmup/flood/cooldown timing.
 #include <iostream>
 
 #include "bench_util.h"
 #include "net/units.h"
 #include "scenario/scenario.h"
+#include "scenario/serialize.h"
 
 using namespace flashflow;
 
 int main(int argc, char** argv) {
-  // The archive experiment is single-threaded; no --threads flag.
-  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/20210605,
+  const std::string path = bench::take_scenario_flag(
+      argc, argv, scenario::default_scenario_dir() + "/fig05.yaml");
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  // The archive experiment is single-threaded; no --threads flag. The
+  // file's seed is the default; --seed overrides.
+  const auto cli = bench::parse_cli(argc, argv, /*default_seed=*/spec.seed,
                                     /*default_threads=*/1,
                                     /*accepts_threads=*/false);
+  spec.seed = cli.seed;
   bench::header("Figure 5 - relay speed test experiment (§3.4)",
                 "network capacity estimate +~50% during test; weight error "
                 "+5-10 points, then recovery");
 
-  // The archive machinery grows/churns the population itself, so the
-  // spec's relay count is the §3 initial live-relay count.
-  const analysis::PopulationParams population;
-  const auto spec = scenario::ScenarioBuilder("fig5")
-                        .synthetic(population, population.initial_relays)
-                        .seed(cli.seed)
-                        .build();
   const auto result = scenario::run_speed_test(spec);
 
   const double rise = result.peak_capacity_bits /

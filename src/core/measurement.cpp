@@ -178,17 +178,43 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   // Hoisted flow set. A flow's offered rate — the per-socket TCP model on
   // the measurer→relay path (RTT, loaded loss, kernel profile) capped by
   // its allocation, times the slot's path factor — is a slot invariant, so
-  // the topology lookups and tcp_socket_throughput happen once per
-  // (measurer, target) pair per slot, not once per second. flows_ and
-  // flow_ids_ are overwritten in place and never shrunk, so each flow's
-  // resource-index vector keeps its capacity across slots.
+  // the path resolution and tcp_socket_throughput happen once per
+  // (measurer, target) pair per slot, not once per second. Paths come from
+  // the topology's bulk fill_paths hook: one virtual call per target per
+  // slot (team hosts gathered into a contiguous arena first), keeping the
+  // per-second loop free of both allocation and virtual dispatch whatever
+  // PathModel backs the topology. flows_ and flow_ids_ are overwritten in
+  // place and never shrunk, so each flow's resource-index vector keeps its
+  // capacity across slots.
+  ws.member_hosts_.resize(n_members);
+  ws.path_chars_.resize(n_members);
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    for (std::size_t i = 0; i < targets[t].team.size(); ++i)
+      ws.member_hosts_[ws.team_offset_[t] + i] = targets[t].team[i].host;
+    const std::size_t lo = ws.team_offset_[t];
+    const std::size_t len = ws.team_offset_[t + 1] - lo;
+    topo_.fill_paths(targets[t].host, {ws.member_hosts_.data() + lo, len},
+                     {ws.path_chars_.data() + lo, len});
+  }
   std::size_t n_flows = 0;
   for (std::size_t t = 0; t < n_targets; ++t) {
     const std::size_t target_res = host_resource(targets[t].host);
     for (std::size_t i = 0; i < targets[t].team.size(); ++i) {
       const auto& m = targets[t].team[i];
-      const double offered = offered_rate(m, targets[t].host) *
-                             ws.path_factor_[ws.team_offset_[t] + i];
+      // Same operation order as offered_rate(), reading the pre-resolved
+      // characteristics (paths are symmetric, so target→member equals the
+      // member→target read offered_rate performs).
+      double offered = 0.0;
+      if (m.sockets > 0 && m.allocated_bits > 0.0) {
+        const net::PathCharacteristics& pc =
+            ws.path_chars_[ws.team_offset_[t] + i];
+        double rtt = pc.rtt_s;
+        if (rtt <= 0.0) rtt = 0.0005;  // co-located: sub-millisecond path
+        const double per_socket = net::tcp_socket_throughput(
+            topo_.host(m.host).kernel, rtt, pc.loaded_loss);
+        offered = std::min(m.allocated_bits, per_socket * m.sockets);
+      }
+      offered *= ws.path_factor_[ws.team_offset_[t] + i];
       if (offered <= 0.0) continue;
       if (n_flows == ws.flows_.size()) {
         ws.flows_.emplace_back();

@@ -94,6 +94,11 @@ class SlotWorkspace {
   // Per-(target, measurer) arenas, stride-indexed via team_offset_.
   std::vector<double> path_factor_;
   std::vector<double> x_it_;
+  /// Member host ids, gathered per target so the path model's bulk
+  /// fill_paths hook gets a contiguous span (one virtual call per target
+  /// per slot), and the characteristics it resolves.
+  std::vector<net::HostId> member_hosts_;
+  std::vector<net::PathCharacteristics> path_chars_;
 
   // Stochastic per-second series, generated in batches at slot setup so
   // the per-second loop itself runs transcendental-free (the Box-Muller

@@ -1,52 +1,71 @@
 #include "net/topology.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "net/units.h"
 
 namespace flashflow::net {
 
+Topology::Topology() : model_(std::make_unique<DensePathModel>()) {}
+
+Topology::Topology(const Topology& other)
+    : hosts_(other.hosts_),
+      model_(other.model_->clone()),
+      name_index_(other.name_index_) {}
+
+Topology& Topology::operator=(const Topology& other) {
+  if (this == &other) return *this;
+  hosts_ = other.hosts_;
+  model_ = other.model_->clone();
+  name_index_ = other.name_index_;
+  return *this;
+}
+
+void Topology::use_path_model(std::unique_ptr<PathModel> model) {
+  if (!model)
+    throw std::invalid_argument("Topology::use_path_model: null model");
+  model_ = std::move(model);
+  model_->resize_hosts(hosts_.size());
+}
+
 HostId Topology::add_host(Host host) {
   const HostId id = hosts_.size();
+  // emplace keeps the first id registered under a name, matching the
+  // first-match semantics find() has always had.
+  name_index_.emplace(host.name, id);
   hosts_.push_back(std::move(host));
-  // Geometric growth keeps unreserved host-by-host construction linear in
-  // matrix traffic overall instead of re-laying three n x n matrices out
-  // on every insertion.
-  if (hosts_.size() > dim_)
-    grow_matrices(std::max(hosts_.size(), dim_ * 2));
+  model_->resize_hosts(hosts_.size());
   return id;
 }
 
 void Topology::reserve_hosts(std::size_t n) {
-  if (n > dim_) grow_matrices(n);
-}
-
-void Topology::grow_matrices(std::size_t dim) {
-  const std::size_t old_dim = dim_;
-  const auto grow = [dim, old_dim](std::vector<double>& m) {
-    std::vector<double> next(dim * dim, 0.0);
-    for (std::size_t a = 0; a < old_dim; ++a)
-      for (std::size_t b = 0; b < old_dim; ++b)
-        next[a * dim + b] = m[a * old_dim + b];
-    m = std::move(next);
-  };
-  grow(rtt_);
-  grow(loss_);
-  grow(loaded_loss_);
-  dim_ = dim;
+  hosts_.reserve(n);
+  name_index_.reserve(n);
+  model_->reserve_hosts(n);
 }
 
 void Topology::set_path(HostId a, HostId b, double rtt_s, double loss_rate,
                         double loaded_loss_rate) {
+  check_ids(a, b);
   if (rtt_s < 0.0 || loss_rate < 0.0 || loss_rate >= 1.0)
     throw std::invalid_argument("Topology::set_path: bad parameters");
   if (loaded_loss_rate < 0.0) loaded_loss_rate = loss_rate;
-  rtt_[index(a, b)] = rtt_s;
-  rtt_[index(b, a)] = rtt_s;
-  loss_[index(a, b)] = loss_rate;
-  loss_[index(b, a)] = loss_rate;
-  loaded_loss_[index(a, b)] = loaded_loss_rate;
-  loaded_loss_[index(b, a)] = loaded_loss_rate;
+  auto* dense = dynamic_cast<DensePathModel*>(model_.get());
+  if (!dense)
+    throw std::logic_error(
+        "Topology::set_path: requires the dense path model (tiered "
+        "topologies describe paths through their tier table)");
+  dense->set_path(a, b, rtt_s, loss_rate, loaded_loss_rate);
+}
+
+void Topology::set_host_tier(HostId id, int tier) {
+  if (id >= hosts_.size()) throw std::out_of_range("Topology: bad host id");
+  auto* tiered = dynamic_cast<TieredPathModel*>(model_.get());
+  if (!tiered)
+    throw std::logic_error(
+        "Topology::set_host_tier: requires a tiered path model");
+  tiered->set_host_tier(id, tier);
 }
 
 const Host& Topology::host(HostId id) const {
@@ -60,23 +79,35 @@ Host& Topology::host(HostId id) {
 }
 
 HostId Topology::find(const std::string& name) const {
-  for (HostId id = 0; id < hosts_.size(); ++id)
-    if (hosts_[id].name == name) return id;
-  throw std::invalid_argument("Topology::find: no host named " + name);
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end())
+    throw std::invalid_argument("Topology::find: no host named " + name);
+  return it->second;
 }
 
-double Topology::rtt(HostId a, HostId b) const { return rtt_[index(a, b)]; }
+double Topology::rtt(HostId a, HostId b) const {
+  check_ids(a, b);
+  return model_->rtt(a, b);
+}
 
-double Topology::loss(HostId a, HostId b) const { return loss_[index(a, b)]; }
+double Topology::loss(HostId a, HostId b) const {
+  check_ids(a, b);
+  return model_->loss(a, b);
+}
 
 double Topology::loaded_loss(HostId a, HostId b) const {
-  return loaded_loss_[index(a, b)];
+  check_ids(a, b);
+  return model_->loaded_loss(a, b);
 }
 
-std::size_t Topology::index(HostId a, HostId b) const {
+void Topology::fill_paths(HostId from, std::span<const HostId> to,
+                          std::span<PathCharacteristics> out) const {
+  model_->fill_paths(from, to, out);
+}
+
+void Topology::check_ids(HostId a, HostId b) const {
   if (a >= hosts_.size() || b >= hosts_.size())
     throw std::out_of_range("Topology: bad host id");
-  return a * dim_ + b;
 }
 
 const std::vector<std::string>& table1_host_names() {

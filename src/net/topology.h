@@ -1,20 +1,24 @@
 // Host and path model for Internet experiments.
 //
-// A Topology is a set of named hosts with NIC capacities plus full-mesh
-// path characteristics (RTT and loss rate). The paper's Table 1 vantage
-// points are provided as a factory so every Internet experiment runs on the
-// same configuration.
+// A Topology is a set of named hosts with NIC capacities plus path
+// characteristics (RTT and loss rate) answered by a pluggable
+// net::PathModel — dense full-mesh matrices by default, or an implicit
+// tiered model for topologies too large to materialize all pairs (see
+// net/path_model.h). The paper's Table 1 vantage points are provided as
+// a factory so every Internet experiment runs on the same configuration.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "net/path_model.h"
 #include "net/tcp_model.h"
 
 namespace flashflow::net {
-
-using HostId = std::size_t;
 
 struct Host {
   std::string name;
@@ -33,17 +37,33 @@ struct Host {
 
 class Topology {
  public:
+  Topology();
+  Topology(const Topology& other);
+  Topology& operator=(const Topology& other);
+  Topology(Topology&&) noexcept = default;
+  Topology& operator=(Topology&&) noexcept = default;
+
+  /// Installs a path model, replacing the default DensePathModel. Install
+  /// before adding hosts so a tiered topology never allocates n x n
+  /// matrices; any hosts already added are carried over (tier defaults
+  /// apply, previously set dense paths are not).
+  void use_path_model(std::unique_ptr<PathModel> model);
+  const PathModel& path_model() const { return *model_; }
+
   /// Adds a host; returns its id.
   HostId add_host(Host host);
 
-  /// Presizes the path matrices for `n` hosts. add_host reallocates the
-  /// three dense n x n matrices whenever the host count outgrows them, so
-  /// building a large topology host-by-host without reserving is
-  /// quadratic in memory traffic per insertion; callers that know the
-  /// final host count (scenario materialization) should reserve up front.
+  /// Presizes the path model for `n` hosts. With the dense model,
+  /// add_host reallocates the three n x n matrices whenever the host
+  /// count outgrows them, so building a large topology host-by-host
+  /// without reserving is quadratic in memory traffic per insertion;
+  /// callers that know the final host count (scenario materialization)
+  /// should reserve up front.
   void reserve_hosts(std::size_t n);
 
-  /// Sets symmetric path characteristics between two hosts.
+  /// Sets symmetric path characteristics between two hosts. Requires the
+  /// dense path model (throws std::logic_error otherwise — tiered
+  /// topologies describe paths through their tier table instead).
   ///
   /// `loss_rate` is the clean-path loss seen by a lone well-paced stream
   /// (iPerf-style runs); `loaded_loss_rate` is the self-induced congestion
@@ -53,27 +73,36 @@ class Topology {
   void set_path(HostId a, HostId b, double rtt_s, double loss_rate,
                 double loaded_loss_rate = -1.0);
 
+  /// Assigns a host to a tier. Requires a TieredPathModel (throws
+  /// std::logic_error otherwise).
+  void set_host_tier(HostId id, int tier);
+
   std::size_t host_count() const { return hosts_.size(); }
   const Host& host(HostId id) const;
+  /// Mutable host access. Renaming a host through this reference does not
+  /// update the name index used by find().
   Host& host(HostId id);
-  /// Finds a host id by name; throws if absent.
+  /// Finds a host id by name (first added wins on duplicates); throws if
+  /// absent.
   HostId find(const std::string& name) const;
 
   double rtt(HostId a, HostId b) const;
   double loss(HostId a, HostId b) const;
   double loaded_loss(HostId a, HostId b) const;
 
+  /// Bulk path resolution for the slot hot path: one virtual call for all
+  /// of `from`'s paths to `to` instead of three scalar reads per pair.
+  /// out.size() must equal to.size(); ids must be valid.
+  void fill_paths(HostId from, std::span<const HostId> to,
+                  std::span<PathCharacteristics> out) const;
+
  private:
-  std::size_t index(HostId a, HostId b) const;
-  /// Re-lays the matrices out for `dim` hosts, preserving entries.
-  void grow_matrices(std::size_t dim);
+  void check_ids(HostId a, HostId b) const;
+
   std::vector<Host> hosts_;
-  /// Allocated matrix dimension (>= host_count); the matrices are row-major
-  /// dim_ x dim_ so insertions within a reservation never re-lay them out.
-  std::size_t dim_ = 0;
-  std::vector<double> rtt_;
-  std::vector<double> loss_;
-  std::vector<double> loaded_loss_;
+  std::unique_ptr<PathModel> model_;
+  /// name -> id of the first host added under that name.
+  std::unordered_map<std::string, HostId> name_index_;
 };
 
 /// Builds the paper's Table 1 vantage points: US-SW (Fremont, CA),

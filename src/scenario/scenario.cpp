@@ -119,6 +119,37 @@ void ScenarioSpec::validate() const {
     if (team.capacity_bits.size() != team_size)
       reject("team capacity overrides misaligned with the measurer team");
   }
+  if (topology.path_model == TopologySpec::PathModelKind::kDense) {
+    if (topology != TopologySpec{})
+      reject("topology tier parameters apply only to path_model 'tiered'");
+  } else {
+    if (!std::holds_alternative<SyntheticPopulationSpec>(population))
+      reject("tiered path model applies only to synthetic populations "
+             "(table1 paths are individually measured; shadow installs its "
+             "own region-tiered model)");
+    if (topology.tiers < 1) reject("topology tiers must be >= 1");
+    const std::size_t tiers = static_cast<std::size_t>(topology.tiers);
+    const std::size_t triangle = tiers * (tiers + 1) / 2;
+    if (!topology.tier_rtt_s.empty() &&
+        topology.tier_rtt_s.size() != triangle)
+      reject("topology tier_rtt_s needs tiers*(tiers+1)/2 entries "
+             "(upper triangle incl. diagonal)");
+    for (const double rtt : topology.tier_rtt_s)
+      if (rtt < 0.0) reject("topology tier RTTs must be >= 0");
+    if (topology.loss < 0.0 || topology.loss >= 1.0 ||
+        topology.loaded_loss < 0.0 || topology.loaded_loss >= 1.0)
+      reject("topology loss rates must be in [0, 1)");
+    if (topology.rtt_jitter < 0.0 || topology.rtt_jitter >= 1.0)
+      reject("topology rtt_jitter must be in [0, 1)");
+  }
+  if (speedtest) {
+    if (speedtest->warmup_days < 0 || speedtest->test_duration_hours <= 0 ||
+        speedtest->cooldown_days < 0)
+      reject("speedtest window must have warmup/cooldown >= 0 and a "
+             "positive test duration");
+    if (!std::holds_alternative<SyntheticPopulationSpec>(population))
+      reject("speedtest window requires a synthetic population");
+  }
   if (const auto* t1 = std::get_if<Table1PopulationSpec>(&population)) {
     if (t1->rate_limit_mbit.empty()) reject("table1 population is empty");
     for (const double limit : t1->rate_limit_mbit)
@@ -160,6 +191,24 @@ ScenarioBuilder& ScenarioBuilder::synthetic(analysis::PopulationParams params,
                                             int relays,
                                             double prior_fraction) {
   spec_.population = SyntheticPopulationSpec{params, relays, prior_fraction};
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::topology(TopologySpec topology) {
+  spec_.topology = std::move(topology);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::tiered_topology(int tiers) {
+  TopologySpec topo;
+  topo.path_model = TopologySpec::PathModelKind::kTiered;
+  topo.tiers = tiers;
+  spec_.topology = std::move(topo);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::speedtest(SpeedTestWindow window) {
+  spec_.speedtest = window;
   return *this;
 }
 
@@ -286,11 +335,24 @@ MaterializedScenario materialize(const ScenarioSpec& spec) {
     const auto capacities = analysis::sample_capacities(
         syn.params, syn.relays, spec.seed ^ sim::hash_tag("scenario/synthetic"));
     // Measurer hosts first (ids 0..m-1), then one host per relay, all on a
-    // flat low-latency mesh. NOTE: the topology's path matrices are dense,
-    // so materializing very large synthetic populations is memory-heavy —
-    // use Scenario::plan() for schedule-only studies when only the packing
-    // matters. The reservation sizes the matrices once; without it every
-    // add_host re-lays three n x n matrices out.
+    // flat low-latency mesh. Under the default dense path model the mesh
+    // is materialized all-pairs, so very large populations are
+    // memory-heavy (three n x n matrices); topology.path_model 'tiered'
+    // resolves the same pairs implicitly in O(hosts) memory, and its
+    // 1-tier default reproduces the dense flat mesh bit-exactly. The
+    // reservation sizes the dense matrices once; without it every
+    // add_host re-lays them out.
+    if (spec.topology.path_model == TopologySpec::PathModelKind::kTiered) {
+      net::TieredPathParams tier_params;
+      tier_params.tiers = spec.topology.tiers;
+      tier_params.tier_rtt_s = spec.topology.tier_rtt_s;
+      tier_params.loss = spec.topology.loss;
+      tier_params.loaded_loss = spec.topology.loaded_loss;
+      tier_params.rtt_jitter = spec.topology.rtt_jitter;
+      tier_params.seed = spec.seed ^ sim::hash_tag("scenario/tiered-path");
+      mat.topology.use_path_model(
+          std::make_unique<net::TieredPathModel>(std::move(tier_params)));
+    }
     mat.topology.reserve_hosts(spec.team.capacity_bits.size() +
                                capacities.size());
     for (std::size_t i = 0; i < spec.team.capacity_bits.size(); ++i) {
@@ -315,9 +377,10 @@ MaterializedScenario materialize(const ScenarioSpec& spec) {
           syn.prior_fraction > 0.0 ? capacities[i] * syn.prior_fraction : 0.0;
       mat.relays.push_back(std::move(relay));
     }
-    for (net::HostId a = 0; a < mat.topology.host_count(); ++a)
-      for (net::HostId b = a + 1; b < mat.topology.host_count(); ++b)
-        mat.topology.set_path(a, b, 0.05, 1.0e-6, 5.0e-5);
+    if (spec.topology.path_model == TopologySpec::PathModelKind::kDense)
+      for (net::HostId a = 0; a < mat.topology.host_count(); ++a)
+        for (net::HostId b = a + 1; b < mat.topology.host_count(); ++b)
+          mat.topology.set_path(a, b, 0.05, 1.0e-6, 5.0e-5);
   }
 
   mat.measurer_capacity_bits = spec.team.capacity_bits;
@@ -331,6 +394,10 @@ MaterializedScenario materialize(const ScenarioSpec& spec) {
 
 Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
+  if (spec_.speedtest)
+    throw std::invalid_argument(
+        "Scenario: the speedtest window applies only to run_speed_test, "
+        "not to slot-based scenario runs");
 }
 
 const MaterializedScenario& Scenario::materialized() const {
@@ -454,8 +521,7 @@ campaign::CampaignResult Scenario::run() const {
   return runner().run(materialized().relays);
 }
 
-analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec,
-                                         const SpeedTestWindow& window) {
+analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec) {
   spec.validate();
   const auto* syn = std::get_if<SyntheticPopulationSpec>(&spec.population);
   if (!syn)
@@ -468,11 +534,12 @@ analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec,
       spec.periods != 1 || spec.record_outcomes ||
       spec.schedule != campaign::ScheduleMode::kGreedyPack ||
       spec.threads != 1 || spec.shard_slots != 0 ||
-      syn->prior_fraction > 0.0)
+      spec.topology != TopologySpec{} || syn->prior_fraction > 0.0)
     throw std::invalid_argument(
-        "run_speed_test: adversary mix, background model, team, periods, "
-        "schedule, threads, record_outcomes and prior_fraction do not "
-        "apply to the §3.4 archive experiment");
+        "run_speed_test: adversary mix, background model, team, topology, "
+        "periods, schedule, threads, record_outcomes and prior_fraction do "
+        "not apply to the §3.4 archive experiment");
+  const SpeedTestWindow window = spec.speedtest.value_or(SpeedTestWindow{});
   analysis::SpeedTestConfig config;
   config.population = syn->params;
   // The archive machinery grows and churns the population itself; the

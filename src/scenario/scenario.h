@@ -116,9 +116,45 @@ struct TeamSpec {
   friend bool operator==(const TeamSpec&, const TeamSpec&) = default;
 };
 
+/// How the materialized topology answers path queries (net/path_model.h).
+/// Dense is today's three n x n matrices — exact per-pair control,
+/// O(N^2) memory. Tiered is the Shadow-style implicit model — per-host
+/// tiers plus a tier x tier RTT table with optional deterministic
+/// per-pair jitter — and is what makes 50k-relay synthetic campaigns fit
+/// in memory. Tiered currently applies to synthetic populations only
+/// (table1/lab paths are individually measured; shadow already installs
+/// its own region-tiered model).
+struct TopologySpec {
+  enum class PathModelKind { kDense, kTiered };
+  PathModelKind path_model = PathModelKind::kDense;
+  /// Tier count; synthetic hosts default to tier (host id % tiers).
+  int tiers = 1;
+  /// Upper triangle (incl. diagonal) of the tier x tier RTT table,
+  /// seconds; empty means 0.05 s everywhere (the flat-mesh default, so a
+  /// 1-tier tiered topology reproduces the dense flat mesh bit-exactly).
+  std::vector<double> tier_rtt_s;
+  double loss = 1.0e-6;
+  double loaded_loss = 5.0e-5;
+  /// Per-pair RTT jitter fraction in [0, 1); 0 = exact table values.
+  double rtt_jitter = 0.0;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// Timing window of the §3.4 live-network speed test (run_speed_test).
+struct SpeedTestWindow {
+  int warmup_days = 30;
+  int test_duration_hours = 51;
+  int cooldown_days = 10;
+
+  friend bool operator==(const SpeedTestWindow&,
+                         const SpeedTestWindow&) = default;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   PopulationSpec population;
+  TopologySpec topology;
   TeamSpec team;
   AdversaryMix adversaries;
   BackgroundModel background;
@@ -134,6 +170,9 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   /// Attach per-second core::SlotOutcomes to streamed SlotResults.
   bool record_outcomes = false;
+  /// Engages the §3.4 archive speed-test experiment (run_speed_test);
+  /// slot-based Scenario/Experiment runs reject specs carrying it.
+  std::optional<SpeedTestWindow> speedtest;
 
   /// Validates the spec (params + fractions + population/team coherence);
   /// throws std::invalid_argument.
@@ -162,6 +201,11 @@ class ScenarioBuilder {
                               std::uint64_t seed);
   ScenarioBuilder& synthetic(analysis::PopulationParams params, int relays,
                              double prior_fraction = 0.0);
+
+  ScenarioBuilder& topology(TopologySpec topology);
+  /// Shortcut: tiered path model with `tiers` tiers and default table.
+  ScenarioBuilder& tiered_topology(int tiers = 1);
+  ScenarioBuilder& speedtest(SpeedTestWindow window);
 
   ScenarioBuilder& measurers(std::vector<std::string> names);
   ScenarioBuilder& measurer_capacities(std::vector<double> capacity_bits);
@@ -269,23 +313,17 @@ std::vector<double> resolve_team_capacities(const ScenarioSpec& spec,
 /// fresh secret schedule (§4.3).
 std::uint64_t period_seed(const ScenarioSpec& spec, int period);
 
-/// Timing window of the §3.4 live-network speed test.
-struct SpeedTestWindow {
-  int warmup_days = 30;
-  int test_duration_hours = 51;
-  int cooldown_days = 10;
-};
-
 /// The §3.4 relay speed-test experiment (Fig 5) over a scenario's
 /// synthetic population: floods every live relay to capacity for the test
 /// window and tracks the observed-bandwidth capacity proxy and TorFlow
-/// weight error around it. Requires a SyntheticPopulationSpec (the
+/// weight error around it. The window comes from spec.speedtest
+/// (defaults apply when absent). Requires a SyntheticPopulationSpec (the
 /// experiment runs on the §3 archive machinery, not on measurement
 /// slots); the spec's relay count seeds the initial live population.
 /// Spec fields the archive experiment cannot honor (adversary mix,
-/// background model, team, periods, record_outcomes, prior_fraction) are
-/// rejected with std::invalid_argument rather than silently dropped.
-analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec,
-                                         const SpeedTestWindow& window = {});
+/// background model, team, topology, periods, record_outcomes,
+/// prior_fraction) are rejected with std::invalid_argument rather than
+/// silently dropped.
+analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec);
 
 }  // namespace flashflow::scenario

@@ -308,6 +308,29 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
         << fmt(p.rate_limited_fraction) << "\n";
   }
 
+  // Optional sections: emitted only when engaged, so files written by
+  // older builds and specs with all-default values stay byte-stable.
+  if (spec.topology != TopologySpec{}) {
+    out << "\ntopology.path_model: "
+        << (spec.topology.path_model == TopologySpec::PathModelKind::kTiered
+                ? "tiered"
+                : "dense")
+        << "\n"
+        << "topology.tiers: " << spec.topology.tiers << "\n"
+        << "topology.tier_rtt_s: " << fmt_list(spec.topology.tier_rtt_s)
+        << "\n"
+        << "topology.loss: " << fmt(spec.topology.loss) << "\n"
+        << "topology.loaded_loss: " << fmt(spec.topology.loaded_loss) << "\n"
+        << "topology.rtt_jitter: " << fmt(spec.topology.rtt_jitter) << "\n";
+  }
+  if (spec.speedtest) {
+    out << "\nspeedtest.warmup_days: " << spec.speedtest->warmup_days << "\n"
+        << "speedtest.test_duration_hours: "
+        << spec.speedtest->test_duration_hours << "\n"
+        << "speedtest.cooldown_days: " << spec.speedtest->cooldown_days
+        << "\n";
+  }
+
   out << "\nteam.measurers: " << fmt_list(spec.team.measurer_names) << "\n"
       << "team.capacity_bits: " << fmt_list(spec.team.capacity_bits)
       << "\n\n"
@@ -422,6 +445,42 @@ ScenarioSpec parse_scenario(const std::string& text,
     in.fail(in.line_of("population"),
             "key 'population': expected table1, shadow or synthetic, "
             "got '" + population + "'");
+  }
+
+  if (in.has("topology.path_model")) {
+    const std::string kind = in.get_string("topology.path_model", "dense");
+    if (kind == "dense") {
+      spec.topology.path_model = TopologySpec::PathModelKind::kDense;
+    } else if (kind == "tiered") {
+      spec.topology.path_model = TopologySpec::PathModelKind::kTiered;
+    } else {
+      in.fail(in.line_of("topology.path_model"),
+              "key 'topology.path_model': expected dense or tiered, got '" +
+                  kind + "'");
+    }
+  }
+  // Tier parameters are read unconditionally so a file carrying them
+  // without 'topology.path_model: tiered' fails spec validation instead
+  // of being silently dropped.
+  spec.topology.tiers = in.get_int("topology.tiers", spec.topology.tiers);
+  spec.topology.tier_rtt_s = in.get_double_list("topology.tier_rtt_s");
+  spec.topology.loss = in.get_double("topology.loss", spec.topology.loss);
+  spec.topology.loaded_loss =
+      in.get_double("topology.loaded_loss", spec.topology.loaded_loss);
+  spec.topology.rtt_jitter =
+      in.get_double("topology.rtt_jitter", spec.topology.rtt_jitter);
+
+  if (in.has("speedtest.warmup_days") ||
+      in.has("speedtest.test_duration_hours") ||
+      in.has("speedtest.cooldown_days")) {
+    SpeedTestWindow window;
+    window.warmup_days =
+        in.get_int("speedtest.warmup_days", window.warmup_days);
+    window.test_duration_hours = in.get_int("speedtest.test_duration_hours",
+                                            window.test_duration_hours);
+    window.cooldown_days =
+        in.get_int("speedtest.cooldown_days", window.cooldown_days);
+    spec.speedtest = window;
   }
 
   spec.team.measurer_names = in.get_string_list("team.measurers");

@@ -48,6 +48,20 @@ ShadowNet make_shadow_net(const ShadowNetParams& params, std::uint64_t seed) {
 
 net::Topology shadow_topology(const ShadowNet& net) {
   net::Topology topo;
+  // Regions map 1:1 onto path-model tiers: the tier table below is the
+  // upper triangle of the region_rtt matrix, so every pair reads exactly
+  // the value the old all-pairs set_path mesh stored — but in O(hosts)
+  // memory instead of three n x n matrices.
+  net::TieredPathParams params;
+  params.tiers = kRegionCount;
+  for (int a = 0; a < kRegionCount; ++a)
+    for (int b = a; b < kRegionCount; ++b)
+      params.tier_rtt_s.push_back(
+          region_rtt(static_cast<Region>(a), static_cast<Region>(b)));
+  // Modest loaded loss on the shared simulated internet.
+  params.loss = 1.0e-6;
+  params.loaded_loss = 5.0e-5;
+  topo.use_path_model(std::make_unique<net::TieredPathModel>(params));
   topo.reserve_hosts(3 + net.relays.size());
   // Three 1 Gbit/s measurers (§7), placed in distinct regions.
   const std::array<Region, 3> measurer_regions = {
@@ -70,18 +84,12 @@ net::Topology shadow_topology(const ShadowNet& net) {
          .kernel = net::KernelProfile::default_profile()}));
   }
 
-  const auto region_of = [&](net::HostId h) {
-    for (std::size_t i = 0; i < measurers.size(); ++i)
-      if (measurers[i] == h) return measurer_regions[i];
-    return net.relays[h - measurers.size()].region;
-  };
-  for (net::HostId a = 0; a < topo.host_count(); ++a) {
-    for (net::HostId b = a + 1; b < topo.host_count(); ++b) {
-      const double rtt = region_rtt(region_of(a), region_of(b));
-      // Modest loaded loss on the shared simulated internet.
-      topo.set_path(a, b, rtt, 1.0e-6, 5.0e-5);
-    }
-  }
+  for (std::size_t i = 0; i < measurers.size(); ++i)
+    topo.set_host_tier(measurers[i],
+                       static_cast<int>(measurer_regions[i]));
+  for (std::size_t i = 0; i < net.relays.size(); ++i)
+    topo.set_host_tier(relay_hosts[i],
+                       static_cast<int>(net.relays[i].region));
   return topo;
 }
 

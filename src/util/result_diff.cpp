@@ -1,0 +1,128 @@
+#include "util/result_diff.h"
+
+#include <array>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fs = std::filesystem;
+
+namespace flashflow::util {
+
+namespace {
+
+/// Parses a non-negative integer prefix of `s`; -1 if there is none.
+int int_prefix(std::string_view s) {
+  int value = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + (s[i] - '0');
+    ++i;
+  }
+  return i == 0 ? -1 : value;
+}
+
+/// The slot a result line belongs to. CSV rows carry it as the third
+/// comma-separated field (header: period,relay,slot,...); JSONL objects
+/// as a "slot":N member. -1 when the line has neither (headers,
+/// bandwidth-file lines).
+int slot_of(const std::string& file, std::string_view line) {
+  if (file == "results.csv") {
+    std::size_t field = 0;
+    std::size_t start = 0;
+    while (field < 2) {
+      const std::size_t comma = line.find(',', start);
+      if (comma == std::string_view::npos) return -1;
+      start = comma + 1;
+      ++field;
+    }
+    return int_prefix(line.substr(start));
+  }
+  if (file == "results.jsonl") {
+    static constexpr std::string_view kKey = "\"slot\":";
+    const std::size_t pos = line.find(kKey);
+    if (pos == std::string_view::npos) return -1;
+    return int_prefix(line.substr(pos + kKey.size()));
+  }
+  return -1;
+}
+
+std::string quoted_for_message(const std::string& line) {
+  constexpr std::size_t kMaxShown = 120;
+  if (line.size() <= kMaxShown) return "'" + line + "'";
+  return "'" + line.substr(0, kMaxShown) + "...'";
+}
+
+/// Line-by-line comparison of one artifact in both directories; appends
+/// at most one FileDiff.
+void diff_file(const fs::path& dir_a, const fs::path& dir_b,
+               const std::string& file, DiffResult& result) {
+  const fs::path path_a = dir_a / file;
+  const fs::path path_b = dir_b / file;
+  const bool has_a = fs::exists(path_a);
+  const bool has_b = fs::exists(path_b);
+  if (!has_a && !has_b) return;
+  if (has_a != has_b) {
+    result.identical = false;
+    result.differences.push_back(
+        {file, 0, -1,
+         "present only in " + (has_a ? dir_a : dir_b).string()});
+    return;
+  }
+
+  std::ifstream in_a(path_a);
+  std::ifstream in_b(path_b);
+  if (!in_a || !in_b)
+    throw std::invalid_argument("cannot read " +
+                                (in_a ? path_b : path_a).string());
+
+  std::string line_a;
+  std::string line_b;
+  for (int line = 1;; ++line) {
+    const bool more_a = static_cast<bool>(std::getline(in_a, line_a));
+    const bool more_b = static_cast<bool>(std::getline(in_b, line_b));
+    if (!more_a && !more_b) return;  // identical
+    if (more_a != more_b) {
+      result.identical = false;
+      const std::string longer = (more_a ? dir_a : dir_b).string();
+      result.differences.push_back(
+          {file, line, slot_of(file, more_a ? line_a : line_b),
+           longer + " continues past line " + std::to_string(line - 1) +
+               ", the other ends there"});
+      return;
+    }
+    if (line_a != line_b) {
+      result.identical = false;
+      int slot = slot_of(file, line_a);
+      if (slot < 0) slot = slot_of(file, line_b);
+      result.differences.push_back(
+          {file, line, slot,
+           "line " + std::to_string(line) +
+               (slot >= 0 ? " (slot " + std::to_string(slot) + ")" : "") +
+               ": " + quoted_for_message(line_a) + " vs " +
+               quoted_for_message(line_b)});
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+DiffResult diff_result_dirs(const std::string& dir_a,
+                            const std::string& dir_b) {
+  for (const std::string& dir : {dir_a, dir_b})
+    if (!fs::is_directory(dir))
+      throw std::invalid_argument("not a result directory: " + dir);
+
+  static const std::array<std::string, 3> kArtifacts = {
+      "results.csv", "results.jsonl", "bandwidth.txt"};
+  DiffResult result;
+  for (const auto& file : kArtifacts)
+    diff_file(dir_a, dir_b, file, result);
+  return result;
+}
+
+}  // namespace flashflow::util

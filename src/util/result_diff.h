@@ -1,0 +1,45 @@
+// Structural comparison of two flashflow result directories.
+//
+// The sweep/determinism workflows used to shell out to `cmp`, which can
+// only say "bytes differ". diff_result_dirs compares the deterministic
+// artifacts a run writes — results.csv, results.jsonl, bandwidth.txt —
+// line by line and reports, per file, the first differing line along
+// with the slot it belongs to, so a broken determinism invariant points
+// at the slot to debug rather than at a byte offset.
+//
+// scenario.yaml is deliberately not compared: sweep cells legitimately
+// differ in their expanded specs while their results must not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flashflow::util {
+
+/// The first difference found in one result file.
+struct FileDiff {
+  std::string file;  ///< artifact name, e.g. "results.csv"
+  /// 1-based line of the first difference; 0 when the file is missing
+  /// from one directory.
+  int line = 0;
+  /// Slot the differing line belongs to (parsed from the line), or -1
+  /// when the file has no slot column (bandwidth.txt) or the line does
+  /// not carry one.
+  int slot = -1;
+  std::string message;  ///< human-readable description of the difference
+};
+
+struct DiffResult {
+  bool identical = true;
+  /// One entry per differing artifact (at most one per file).
+  std::vector<FileDiff> differences;
+};
+
+/// Compares the result artifacts of two run directories. A file missing
+/// from both directories is skipped; missing from exactly one is a
+/// difference. Throws std::invalid_argument if either directory does not
+/// exist.
+DiffResult diff_result_dirs(const std::string& dir_a,
+                            const std::string& dir_b);
+
+}  // namespace flashflow::util

@@ -30,6 +30,25 @@ TEST(Topology, AddHostAndLookup) {
   EXPECT_THROW(t.host(5), std::out_of_range);
 }
 
+TEST(Topology, FindResolvesEveryNameInALargePopulation) {
+  // find() is backed by a name index maintained by add_host (it used to
+  // be an O(N) scan per lookup, quadratic across a campaign's relay
+  // resolution); every host must stay findable as the index grows.
+  Topology t;
+  std::vector<HostId> ids;
+  for (int i = 0; i < 500; ++i)
+    ids.push_back(t.add_host(make_host("relay-" + std::to_string(i))));
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(t.find("relay-" + std::to_string(i)), ids[i]);
+}
+
+TEST(Topology, FindReturnsFirstAddedOnDuplicateNames) {
+  Topology t;
+  const HostId first = t.add_host(make_host("twin"));
+  t.add_host(make_host("twin"));
+  EXPECT_EQ(t.find("twin"), first);
+}
+
 TEST(Topology, PathIsSymmetric) {
   Topology t;
   const HostId a = t.add_host(make_host("a"));

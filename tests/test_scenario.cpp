@@ -379,13 +379,20 @@ TEST(SpeedTest, RejectsSpecsItCannotHonor) {
   EXPECT_THROW(run_speed_test(
                    ScenarioBuilder().synthetic(pop, 10).periods(3).build()),
                std::invalid_argument);
+  // Tiered topologies do not apply to the archive experiment either.
+  EXPECT_THROW(run_speed_test(ScenarioBuilder()
+                                  .synthetic(pop, 10)
+                                  .tiered_topology()
+                                  .build()),
+               std::invalid_argument);
   EXPECT_NO_THROW(run_speed_test(
       ScenarioBuilder()
           .synthetic(pop, pop.initial_relays)
           .seed(20210605)
-          .build(),
-      SpeedTestWindow{/*warmup_days=*/2, /*test_duration_hours=*/6,
-                      /*cooldown_days=*/1}));
+          .speedtest(SpeedTestWindow{/*warmup_days=*/2,
+                                     /*test_duration_hours=*/6,
+                                     /*cooldown_days=*/1})
+          .build()));
 }
 
 TEST(Experiment, PeriodHookObservesEveryPeriod) {

@@ -92,6 +92,42 @@ TEST(ScenarioSerialize, ShadowRoundTripsExactly) {
   EXPECT_EQ(spec, back);
 }
 
+TEST(ScenarioSerialize, TieredTopologyRoundTripsExactly) {
+  TopologySpec topo;
+  topo.path_model = TopologySpec::PathModelKind::kTiered;
+  topo.tiers = 3;
+  topo.tier_rtt_s = {0.010, 0.065, 0.090, 0.020, 0.150, 0.025};
+  topo.loss = 2.0e-6;
+  topo.loaded_loss = 7.0e-5;
+  topo.rtt_jitter = 0.25;
+  ScenarioSpec spec = synthetic_spec();
+  spec.topology = topo;
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(back.topology.tier_rtt_s, topo.tier_rtt_s);
+}
+
+TEST(ScenarioSerialize, SpeedTestWindowRoundTripsExactly) {
+  analysis::PopulationParams pop;
+  const ScenarioSpec spec = ScenarioBuilder("fig5-rt")
+                                .synthetic(pop, 220)
+                                .speedtest(SpeedTestWindow{30, 51, 10})
+                                .seed(20210605)
+                                .build();
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+  ASSERT_TRUE(back.speedtest.has_value());
+  EXPECT_EQ(back.speedtest->test_duration_hours, 51);
+}
+
+TEST(ScenarioSerialize, DefaultTopologyAndWindowStayOffTheWire) {
+  // Specs without the optional sections must serialize without emitting
+  // them, so files written before those keys existed stay byte-stable.
+  const std::string text = serialize_scenario(synthetic_spec());
+  EXPECT_EQ(text.find("topology."), std::string::npos);
+  EXPECT_EQ(text.find("speedtest."), std::string::npos);
+}
+
 TEST(ScenarioSerialize, QuotedNameSurvivesRoundTrip) {
   ScenarioSpec spec = synthetic_spec();
   spec.name = "has spaces: and #punctuation";
@@ -214,6 +250,71 @@ TEST(ScenarioSerialize, BadScheduleAndVersionRejected) {
       {"test.yaml:1", "version 2"});
 }
 
+TEST(ScenarioSerialize, UnknownPathModelValueNamesKeyAndLine) {
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40\n"
+      "team.capacity_bits: [8e8]\n"
+      "topology.path_model: mesh\n",
+      {"test.yaml:4", "key 'topology.path_model'", "expected dense or tiered",
+       "mesh"});
+}
+
+TEST(ScenarioSerialize, TierParamsWithoutTieredModelRejected) {
+  // The tier keys parse fine but spec validation must refuse to silently
+  // drop them under the default dense model.
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40\n"
+      "team.capacity_bits: [8e8]\n"
+      "topology.tiers: 3\n",
+      {"tier parameters apply only to path_model 'tiered'"});
+}
+
+TEST(ScenarioSerialize, TieredModelRequiresSyntheticPopulation) {
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "topology.path_model: tiered\n",
+      {"tiered path model applies only to synthetic populations"});
+}
+
+TEST(ScenarioSerialize, WrongTierTableLengthRejected) {
+  // 3 tiers need 6 upper-triangle entries.
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40\n"
+      "team.capacity_bits: [8e8]\n"
+      "topology.path_model: tiered\n"
+      "topology.tiers: 3\n"
+      "topology.tier_rtt_s: [0.01, 0.05, 0.09]\n",
+      {"tier_rtt_s needs tiers*(tiers+1)/2 entries"});
+}
+
+TEST(ScenarioSerialize, JitterOutOfRangeRejected) {
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40\n"
+      "team.capacity_bits: [8e8]\n"
+      "topology.path_model: tiered\n"
+      "topology.rtt_jitter: 1.5\n",
+      {"rtt_jitter must be in [0, 1)"});
+}
+
+TEST(ScenarioSerialize, SpeedTestWindowRequiresSyntheticAndPositiveTest) {
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "speedtest.warmup_days: 5\n",
+      {"speedtest window requires a synthetic population"});
+  expect_parse_error(
+      "population: synthetic\n"
+      "synthetic.relays: 40\n"
+      "team.capacity_bits: [8e8]\n"
+      "speedtest.test_duration_hours: 0\n",
+      {"positive test duration"});
+}
+
 TEST(ScenarioSerialize, LineWithoutColonRejected) {
   expect_parse_error("just some text\n", {"test.yaml:1", "key: value"});
 }
@@ -240,8 +341,8 @@ TEST(ScenarioSerialize, LoadFileReportsUnopenablePath) {
 
 TEST(ScenarioSerialize, CheckedInScenariosAllParse) {
   // The files the examples, benches and CI smoke job rely on.
-  for (const char* name :
-       {"quickstart", "measure_network", "fig07", "sec7", "golden_smoke"}) {
+  for (const char* name : {"quickstart", "measure_network", "fig05", "fig07",
+                           "sec7", "golden_smoke"}) {
     const std::string path =
         default_scenario_dir() + "/" + name + ".yaml";
     EXPECT_NO_THROW(load_scenario_file(path)) << path;

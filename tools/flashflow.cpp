@@ -44,6 +44,7 @@
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
+#include "util/result_diff.h"
 #include "util/strict_parse.h"
 
 namespace fs = std::filesystem;
@@ -67,6 +68,10 @@ int usage(std::ostream& out, int exit_code) {
          "[--quiet]\n"
          "      Fan the scenario over the grid of the given axes; one\n"
          "      result directory per cell under DIR.\n"
+         "  diff <dirA> <dirB>\n"
+         "      Compare two result directories (results.csv,\n"
+         "      results.jsonl, bandwidth.txt); report the first differing\n"
+         "      slot per file and exit 1 when they differ.\n"
          "\n"
          "Scenario files: flat YAML subset, one 'key: value' per line —\n"
          "see scenarios/ and README \"Scenario files & CLI\".\n";
@@ -434,6 +439,22 @@ int cmd_sweep(Flags& flags) {
   return 0;
 }
 
+int cmd_diff(Flags& flags) {
+  const std::string dir_a = flags.take_positional("first result directory");
+  const std::string dir_b = flags.take_positional("second result directory");
+  const bool quiet = flags.take_switch("quiet");
+  flags.reject_leftovers();
+
+  const auto result = util::diff_result_dirs(dir_a, dir_b);
+  if (result.identical) {
+    if (!quiet) std::cout << dir_a << " and " << dir_b << " are identical\n";
+    return 0;
+  }
+  for (const auto& diff : result.differences)
+    std::cerr << diff.file << ": " << diff.message << "\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -448,6 +469,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "sweep") return cmd_sweep(flags);
+    if (command == "diff") return cmd_diff(flags);
   } catch (const std::exception& e) {
     std::cerr << "flashflow: " << e.what() << "\n";
     return 1;
