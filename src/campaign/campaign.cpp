@@ -43,6 +43,8 @@ double CampaignRunner::team_capacity_bits() const {
 
 RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
                              SlotSink& sink) const {
+  // FFCHECK(ND03): timing-only read; feeds RunStats::wall_seconds, which
+  // lives outside CampaignResult and is excluded from the golden hashes.
   const auto wall_start = std::chrono::steady_clock::now();
   const core::Params& params = config_.params;
 
@@ -256,6 +258,8 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   stats.slots_skipped =
       static_cast<int>(occupied.size()) - stats.slots_executed;
   stats.wall_seconds =
+      // FFCHECK(ND03): timing-only read; wall_seconds is reporting-only
+      // and never feeds estimates, sinks, or the golden hashes.
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -238,6 +238,8 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   ws.y_t_.resize(n_targets);
   ws.x_it_.resize(n_members);
 
+  // FF_HOT_BEGIN: per-second slot loop — ffcheck rejects allocation-shaped
+  // calls until the matching FF_HOT_END (see src/lint/rules.h).
   // ------------------------------------------------------ per-second loop --
   // All stochastic series were batched into arenas above: this loop is
   // pure arithmetic (no rng_ draws, no libm transcendentals).
@@ -299,8 +301,10 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     for (std::size_t t = 0; t < n_targets; ++t) {
       auto& out = outcomes[t];
       const auto& target = targets[t];
+      // FFCHECK(HP03): x_bits reserved t_seconds at setup; no realloc.
       out.x_bits.push_back(ws.x_t_[t]);
       for (std::size_t i = 0; i < target.team.size(); ++i)
+        // FFCHECK(HP03): each series reserved t_seconds at setup.
         out.x_by_measurer[i].push_back(ws.x_it_[ws.team_offset_[t] + i]);
 
       double y_real = ws.y_t_[t];
@@ -310,13 +314,17 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
         // the measurement) but reports the maximum plausible amount.
         y_reported = ws.relay_capacity_[t];
       }
+      // FFCHECK(HP03): reserved t_seconds at setup; no realloc.
       out.y_reported_bits.push_back(y_reported);
       const double y_clamped =
           clamp_background(y_reported, ws.x_t_[t], params_.ratio);
+      // FFCHECK(HP03): reserved t_seconds at setup; no realloc.
       out.y_clamped_bits.push_back(y_clamped);
+      // FFCHECK(HP03): reserved t_seconds at setup; no realloc.
       out.z_bits.push_back(ws.x_t_[t] + y_clamped);
     }
   }
+  // FF_HOT_END: per-second slot loop
 
   // Verification + final estimates.
   for (std::size_t t = 0; t < n_targets; ++t) {

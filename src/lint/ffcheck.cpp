@@ -1,0 +1,202 @@
+#include "lint/ffcheck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace flashflow::lint {
+
+namespace {
+
+struct Suppression {
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // line the comment ends on (covers end_line + 1)
+  std::string rule;
+  bool used = false;
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Parses an FFCHECK suppression out of one comment. Only a comment whose
+// text *starts* with the marker counts — a doc comment that merely
+// mentions the syntax mid-sentence is never a suppression. Within a
+// marker, malformed syntax and missing reasons surface as FF02/FF03
+// diagnostics instead of being silently ignored: a typo'd suppression
+// must never make a file look clean.
+void parse_suppressions(const Comment& comment,
+                        std::vector<Suppression>& out,
+                        std::vector<Diagnostic>& diags) {
+  const std::string& text = comment.text;  // already trimmed by the lexer
+  if (text.rfind("FFCHECK", 0) != 0) return;
+  std::size_t pos = 7;  // past "FFCHECK"
+  if (pos >= text.size() || text[pos] != '(') {
+    diags.push_back({comment.line, "FF03",
+                     "malformed FFCHECK marker: expected "
+                     "FFCHECK(RULE): reason"});
+    return;
+  }
+  const std::size_t close = text.find(')', pos);
+  if (close == std::string::npos) {
+    diags.push_back(
+        {comment.line, "FF03", "malformed FFCHECK marker: missing ')'"});
+    return;
+  }
+  // Rule list between the parentheses, comma separated.
+  std::vector<std::string> rules;
+  std::size_t item = pos + 1;
+  bool ok = true;
+  while (item <= close) {
+    std::size_t comma = text.find(',', item);
+    if (comma == std::string::npos || comma > close) comma = close;
+    const std::string id = trim(text.substr(item, comma - item));
+    if (id.empty() || !known_rule(id)) {
+      diags.push_back(
+          {comment.line, "FF03",
+           id.empty() ? "FFCHECK with an empty rule list"
+                      : "FFCHECK names unknown rule '" + id + "'"});
+      ok = false;
+    } else {
+      rules.push_back(id);
+    }
+    item = comma + 1;
+  }
+  if (close + 1 >= text.size() || text[close + 1] != ':') {
+    diags.push_back({comment.line, "FF03",
+                     "malformed FFCHECK marker: expected ':' after the "
+                     "rule list"});
+    return;
+  }
+  const std::string reason = trim(text.substr(close + 2));
+  if (reason.empty()) {
+    diags.push_back({comment.line, "FF02",
+                     "FFCHECK suppression needs a written justification "
+                     "after the ':'"});
+    return;
+  }
+  if (!ok) return;  // unknown rules already reported
+  for (std::string& id : rules)
+    out.push_back({comment.line, comment.end_line, std::move(id), false});
+}
+
+}  // namespace
+
+FileContext context_for_path(std::string_view path) {
+  FileContext ctx;
+  // Walk the directory components; the first src/tests component wins so
+  // "src/lint/x.cpp" and "/root/repo/src/lint/x.cpp" classify identically.
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    std::size_t end = path.find('/', begin);
+    if (end == std::string_view::npos) end = path.size();
+    const std::string_view part = path.substr(begin, end - begin);
+    if (part == "src") {
+      ctx.nd_rules = true;
+      break;
+    }
+    if (part == "tests") {
+      ctx.getenv_rule = false;
+      break;
+    }
+    begin = end + 1;
+  }
+  return ctx;
+}
+
+FileReport analyze_source(std::string path, std::string_view source,
+                          const FileContext& ctx) {
+  const LexResult lexed = lex(source);
+  std::vector<Diagnostic> diags = run_rules(lexed, ctx);
+
+  // A justification often needs more than one line, and a suppression may
+  // sit below doc text in the same run of `//` lines. Within each run of
+  // adjacent standalone line comments, every line starting with FFCHECK
+  // anchors a suppression whose reason continues through the following
+  // non-anchor lines, and whose coverage extends to the code line right
+  // under the whole run. A comment trailing code stays its own run, so a
+  // stray note never swallows a suppression below it.
+  std::set<int> code_lines;
+  for (const Token& t : lexed.tokens) code_lines.insert(t.line);
+  std::vector<std::vector<const Comment*>> runs;
+  for (const Comment& c : lexed.comments) {
+    const bool standalone = !code_lines.count(c.line);
+    if (!c.block && standalone && !runs.empty() && !runs.back().back()->block &&
+        runs.back().back()->end_line + 1 == c.line &&
+        !code_lines.count(runs.back().back()->line)) {
+      runs.back().push_back(&c);
+    } else {
+      runs.push_back({&c});
+    }
+  }
+
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> meta;
+  for (const auto& run : runs) {
+    const int run_end = run.back()->end_line;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      if (run[i]->text.rfind("FFCHECK", 0) != 0) continue;
+      Comment merged = *run[i];
+      merged.end_line = run_end;
+      for (std::size_t j = i + 1;
+           j < run.size() && run[j]->text.rfind("FFCHECK", 0) != 0; ++j) {
+        merged.text += ' ';
+        merged.text += run[j]->text;
+      }
+      parse_suppressions(merged, suppressions, meta);
+    }
+  }
+
+  // A suppression covers its own lines plus the line right after the
+  // comment ends (the standalone comment-above style).
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : diags) {
+    bool suppressed = false;
+    for (Suppression& s : suppressions) {
+      if (s.rule == d.rule && d.line >= s.line && d.line <= s.end_line + 1) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  // Every listed rule must still match something; stale entries are
+  // findings so the baseline can only shrink.
+  for (const Suppression& s : suppressions) {
+    if (!s.used)
+      kept.push_back({s.line, "FF01",
+                      "suppression for " + s.rule +
+                          " no longer matches any finding; delete it"});
+  }
+  kept.insert(kept.end(), meta.begin(), meta.end());
+  std::stable_sort(
+      kept.begin(), kept.end(),
+      [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
+  return {std::move(path), std::move(kept)};
+}
+
+FileReport analyze_source(std::string path, std::string_view source) {
+  const FileContext ctx = context_for_path(path);
+  return analyze_source(std::move(path), source, ctx);
+}
+
+std::string format_report(const FileReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += report.path;
+    out += ':';
+    out += std::to_string(d.line);
+    out += ": ";
+    out += d.rule;
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace flashflow::lint

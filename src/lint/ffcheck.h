@@ -1,0 +1,47 @@
+// ffcheck per-file driver: lex, run rules, apply suppressions.
+//
+// A finding is silenced by a comment of the form
+//
+//   // FFCHECK(RULE): reason
+//   // FFCHECK(RULE1,RULE2): reason
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory — a suppression without one is itself a finding (FF02), as
+// is one naming an unknown rule (FF03) or one that no longer matches
+// anything (FF01). That last property is the point: the suppression
+// baseline can only shrink, never silently grow stale.
+//
+// File context is derived from the path: ND rules bind only under src/,
+// the getenv ban (ND04) binds everywhere except tests/, and HP/FL rules
+// run wherever their triggers appear.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace flashflow::lint {
+
+struct FileReport {
+  std::string path;
+  std::vector<Diagnostic> diagnostics;  // line order, post-suppression
+};
+
+/// Derives the rule context from a (relative or absolute) file path by its
+/// directory components: "src" enables ND rules, "tests" disables ND04.
+FileContext context_for_path(std::string_view path);
+
+/// Analyzes one file's source text under the given context.
+FileReport analyze_source(std::string path, std::string_view source,
+                          const FileContext& ctx);
+
+/// Convenience overload using context_for_path.
+FileReport analyze_source(std::string path, std::string_view source);
+
+/// Renders diagnostics as "path:line: RULE: message" lines, one per
+/// finding, with a trailing newline after each.
+std::string format_report(const FileReport& report);
+
+}  // namespace flashflow::lint

@@ -1,0 +1,333 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace flashflow::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Two-character operators the rules care to see as one token. "::" in
+// particular must stay whole so `std::rand` reads as std, ::, rand and a
+// member access `obj.time` never looks like a bare call.
+bool two_char_punct(char a, char b) {
+  switch (a) {
+    case ':':
+      return b == ':';
+    case '-':
+      return b == '>' || b == '=' || b == '-';
+    case '+':
+      return b == '=' || b == '+';
+    case '*':
+    case '/':
+    case '!':
+    case '=':
+    case '%':
+    case '^':
+      return b == '=';
+    case '<':
+      return b == '<' || b == '=';
+    case '>':
+      return b == '>' || b == '=';
+    case '&':
+      return b == '&' || b == '=';
+    case '|':
+      return b == '|' || b == '=';
+    default:
+      return false;
+  }
+}
+
+// Encoding prefixes that can precede a raw string's R.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool at_line_start_directive() const {
+    // A '#' opens a preprocessor directive iff only whitespace precedes it
+    // on its line.
+    std::size_t i = pos_;
+    while (i > 0) {
+      const char c = src_[i - 1];
+      if (c == '\n') break;
+      if (c != ' ' && c != '\t') return false;
+      --i;
+    }
+    return true;
+  }
+
+  void step() {
+    const char c = peek();
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_directive()) {
+      directive();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      cooked_string();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int start = line_;
+    advance();  // /
+    advance();  // /
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && peek() != '\n') advance();
+    out_.comments.push_back(
+        {start, start, false, trim(src_.substr(begin, pos_ - begin))});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    advance();  // /
+    advance();  // *
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    // Block comments end at the *first* */ — they do not nest.
+    while (pos_ < src_.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        end = pos_;
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    out_.comments.push_back(
+        {start, line_, true, trim(src_.substr(begin, end - begin))});
+  }
+
+  void directive() {
+    // Swallow the directive, honouring backslash-newline continuations, so
+    // `#include <unordered_map>` never reads as an unordered_map mention.
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') return;  // newline stays for the main loop
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        return;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  void identifier() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(peek())) advance();
+    std::string text(src_.substr(begin, pos_ - begin));
+    if (raw_string_prefix(text) && peek() == '"') {
+      raw_string(start);
+      return;
+    }
+    // Non-raw encoding prefixes (u8"x", L"x") glue to the literal.
+    if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+        (peek() == '"' || peek() == '\'')) {
+      if (peek() == '"') {
+        cooked_string();
+      } else {
+        char_literal();
+      }
+      return;
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(text), start});
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    // pp-number: digits, letters (hex/suffixes), '.', digit separators,
+    // and sign characters directly after an exponent letter.
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back(
+        {TokKind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         start});
+  }
+
+  void cooked_string() {
+    const int start = line_;
+    advance();  // opening quote
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      // An unescaped newline means a malformed literal; stop at the line
+      // end rather than swallowing the rest of the file.
+      if (c == '"' || c == '\n') {
+        end = pos_;
+        if (c == '"') advance();
+        break;
+      }
+      advance();
+    }
+    out_.tokens.push_back(
+        {TokKind::kString, std::string(src_.substr(begin, end - begin)),
+         start});
+  }
+
+  void raw_string(int start) {
+    advance();  // opening quote
+    // Delimiter: everything up to the '('.
+    const std::size_t dbegin = pos_;
+    while (pos_ < src_.size() && peek() != '(' && peek() != '\n') advance();
+    const std::string delim(src_.substr(dbegin, pos_ - dbegin));
+    if (peek() == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (peek() == ')' && src_.compare(pos_, closer.size(), closer) == 0) {
+        end = pos_;
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      advance();
+    }
+    out_.tokens.push_back(
+        {TokKind::kString, std::string(src_.substr(begin, end - begin)),
+         start});
+  }
+
+  void char_literal() {
+    const int start = line_;
+    advance();  // opening quote
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        end = pos_;
+        if (c == '\'') advance();
+        break;
+      }
+      advance();
+    }
+    out_.tokens.push_back(
+        {TokKind::kChar, std::string(src_.substr(begin, end - begin)),
+         start});
+  }
+
+  void punct() {
+    const int start = line_;
+    const char a = advance();
+    std::string text(1, a);
+    if (pos_ < src_.size() && two_char_punct(a, peek())) {
+      text.push_back(advance());
+      // "->*" and "<<=" / ">>=" tails; irrelevant to rules, but keep the
+      // stream faithful.
+      if ((text == "->" && peek() == '*') ||
+          ((text == "<<" || text == ">>") && peek() == '=')) {
+        text.push_back(advance());
+      }
+    }
+    out_.tokens.push_back({TokKind::kPunct, std::move(text), start});
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace flashflow::lint

@@ -1,0 +1,56 @@
+// Minimal C++ lexer for the ffcheck static-analysis pass.
+//
+// ffcheck's rules operate on a token stream, never on raw text, so a
+// banned identifier inside a string literal, a comment, or a raw string
+// (R"(...)") can never produce a finding — and conversely a finding can
+// never be hidden by creative spacing. The lexer is deliberately small:
+// it classifies identifiers, numbers, string/char literals and
+// punctuation, skips preprocessor directives (including backslash
+// continuations), and records every comment verbatim so the driver can
+// parse `// FFCHECK(RULE): reason` suppressions and `// FF_HOT_BEGIN` /
+// `// FF_HOT_END` region annotations out of them.
+//
+// It follows the C++ phase-3 rules that matter for correctness here:
+// block comments do not nest, raw-string delimiters are honoured
+// (including u8R/uR/UR/LR prefixes), and '//' inside a string literal
+// does not start a comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flashflow::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. hex/floats/digit separators)
+  kString,  // string literals, raw or cooked, any encoding prefix
+  kChar,    // character literals
+  kPunct,   // operators and punctuation ("::", "+=", "(", ...)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;      // 1-based line where the comment starts
+  int end_line = 0;  // last line the comment touches (== line for //)
+  bool block = false;
+  std::string text;  // content without the // or /* */ markers, trimmed
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes one translation unit's worth of source text. Never throws on
+/// malformed input: an unterminated literal or comment simply ends at EOF,
+/// which is the forgiving behaviour a linter wants.
+LexResult lex(std::string_view source);
+
+}  // namespace flashflow::lint

@@ -1,0 +1,343 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace flashflow::lint {
+
+namespace {
+
+const std::vector<RuleInfo> kRules = {
+    {"ND01", "banned RNG call (std::rand family) — use sim::Rng"},
+    {"ND02", "std::random_device reads ambient entropy"},
+    {"ND03", "wall-clock read can reach results"},
+    {"ND04", "getenv/setenv outside tests/"},
+    {"ND05", "range-for over std::unordered_map/set (iteration order)"},
+    {"ND06", "unordered container declaration needs a justification"},
+    {"HP01", "new expression inside an FF_HOT region"},
+    {"HP02", "allocation call inside an FF_HOT region"},
+    {"HP03", "container growth call inside an FF_HOT region"},
+    {"HP04", "string construction/concatenation inside an FF_HOT region"},
+    {"FL01", "floating-point accumulation over an unordered container"},
+    {"FF01", "unused FFCHECK suppression"},
+    {"FF02", "FFCHECK suppression without a justification"},
+    {"FF03", "malformed FFCHECK suppression or unknown rule"},
+    {"FF04", "unbalanced FF_HOT_BEGIN/FF_HOT_END annotation"},
+};
+
+bool is_unordered_name(std::string_view s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+struct Runner {
+  const std::vector<Token>& toks;
+  const FileContext& ctx;
+  std::vector<Diagnostic> diags;
+  // Identifiers declared in this file with an unordered container type.
+  std::set<std::string> unordered_vars;
+  // Inclusive line ranges bracketed by FF_HOT_BEGIN/END comments.
+  std::vector<std::pair<int, int>> hot_regions;
+
+  const std::string& text(std::size_t i) const { return toks[i].text; }
+  bool is_ident(std::size_t i, std::string_view s) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent &&
+           toks[i].text == s;
+  }
+  bool is_punct(std::size_t i, std::string_view s) const {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+           toks[i].text == s;
+  }
+
+  void report(int line, std::string_view rule, std::string message) {
+    diags.push_back({line, std::string(rule), std::move(message)});
+  }
+
+  bool in_hot_region(int line) const {
+    for (const auto& [b, e] : hot_regions)
+      if (line >= b && line <= e) return true;
+    return false;
+  }
+
+  // Skips a balanced <...> starting at the '<' at index i; returns the
+  // index just past the closing '>'. ">>" closes two levels. Bails (returns
+  // i + 1) if the angle bracket turns out to be a comparison.
+  std::size_t skip_template_args(std::size_t i) const {
+    int depth = 0;
+    std::size_t j = i;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") ++depth;
+        else if (t.text == "<<") depth += 2;
+        else if (t.text == ">") --depth;
+        else if (t.text == ">>") depth -= 2;
+        else if (t.text == ";" || t.text == "{") return i + 1;
+      }
+      ++j;
+      if (depth <= 0) return j;
+    }
+    return j;
+  }
+
+  // Returns the index just past the ')' matching the '(' at index i.
+  std::size_t skip_parens(std::size_t i) const {
+    int depth = 0;
+    std::size_t j = i;
+    while (j < toks.size()) {
+      if (is_punct(j, "(")) ++depth;
+      else if (is_punct(j, ")")) --depth;
+      ++j;
+      if (depth <= 0) return j;
+    }
+    return j;
+  }
+
+  // Returns the index just past the '}' matching the '{' at index i.
+  std::size_t skip_braces(std::size_t i) const {
+    int depth = 0;
+    std::size_t j = i;
+    while (j < toks.size()) {
+      if (is_punct(j, "{")) ++depth;
+      else if (is_punct(j, "}")) --depth;
+      ++j;
+      if (depth <= 0) return j;
+    }
+    return j;
+  }
+
+  // True when the identifier at i is a bare (or std::-qualified) function
+  // call — not a member access like `sim.time()` or `Foo::time()`.
+  bool bare_call(std::size_t i) const {
+    if (!is_punct(i + 1, "(")) return false;
+    if (i == 0) return true;
+    const Token& p = toks[i - 1];
+    if (p.kind != TokKind::kPunct) return true;
+    if (p.text == "." || p.text == "->") return false;
+    if (p.text == "::")
+      return i >= 2 && toks[i - 2].kind == TokKind::kIdent &&
+             toks[i - 2].text == "std";
+    return true;
+  }
+
+  // Region annotations must be the comment's first word, so a doc comment
+  // that merely mentions FF_HOT_BEGIN never opens a phantom region.
+  void collect_hot_regions(const std::vector<Comment>& comments) {
+    int open_line = -1;
+    for (const Comment& c : comments) {
+      const bool begins = c.text.rfind("FF_HOT_BEGIN", 0) == 0;
+      const bool ends = c.text.rfind("FF_HOT_END", 0) == 0;
+      if (begins) {
+        if (open_line >= 0)
+          report(c.line, "FF04",
+                 "FF_HOT_BEGIN while the region opened on line " +
+                     std::to_string(open_line) + " is still open");
+        else
+          open_line = c.line;
+      } else if (ends) {
+        if (open_line < 0)
+          report(c.line, "FF04", "FF_HOT_END without a matching BEGIN");
+        else {
+          hot_regions.emplace_back(open_line, c.end_line);
+          open_line = -1;
+        }
+      }
+    }
+    if (open_line >= 0)
+      report(open_line, "FF04", "FF_HOT_BEGIN never closed before EOF");
+  }
+
+  // Pass 1: find every unordered container mention. Each one is an ND06
+  // finding (the declaration must justify why iteration order cannot reach
+  // results), and the declared variable name — when one follows the
+  // template arguments — feeds the ND05/FL01 iteration checks.
+  void collect_unordered_decls() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !is_unordered_name(text(i)))
+        continue;
+      if (ctx.nd_rules)
+        report(toks[i].line, "ND06",
+               "std::" + text(i) +
+                   " declared; justify that its iteration order cannot "
+                   "reach results (FFCHECK(ND06): ...)");
+      std::size_t j = i + 1;
+      if (is_punct(j, "<")) j = skip_template_args(j);
+      while (is_punct(j, "&") || is_punct(j, "*") || is_punct(j, "&&") ||
+             is_ident(j, "const"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !is_punct(j + 1, "("))
+        unordered_vars.insert(text(j));
+    }
+  }
+
+  bool mentions_unordered(std::size_t begin, std::size_t end) const {
+    for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (is_unordered_name(text(k)) || unordered_vars.count(text(k)))
+        return true;
+    }
+    return false;
+  }
+
+  // ND05 + FL01: range-for whose range names an unordered container, and
+  // order-sensitive accumulation inside such a loop's body.
+  void check_range_for(std::size_t i) {
+    if (!is_punct(i + 1, "(")) return;
+    const std::size_t close = skip_parens(i + 1);
+    // Find the range-for ':' at parenthesis depth 1 (``::`` lexes as its
+    // own token, so a qualified type never reads as the separator).
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (is_punct(k, "(")) ++depth;
+      else if (is_punct(k, ")")) --depth;
+      else if (depth == 1 && is_punct(k, ":")) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == 0) return;  // classic for, not range-for
+    if (!mentions_unordered(colon + 1, close - 1)) return;
+    if (ctx.nd_rules)
+      report(toks[i].line, "ND05",
+             "range-for over an unordered container: iteration order is "
+             "unspecified and can reach results");
+    // Body: either a braced block or a single statement through ';'.
+    std::size_t body_begin = close;
+    std::size_t body_end = close;
+    if (is_punct(close, "{")) {
+      body_begin = close + 1;
+      body_end = skip_braces(close) - 1;
+    } else {
+      while (body_end < toks.size() && !is_punct(body_end, ";")) ++body_end;
+    }
+    for (std::size_t k = body_begin; k < body_end; ++k) {
+      if (is_punct(k, "+=") || is_punct(k, "-=") ||
+          is_ident(k, "accumulate") || is_ident(k, "reduce"))
+        report(toks[k].line, "FL01",
+               "accumulation inside unordered-container iteration: "
+               "floating-point sums depend on hash order");
+    }
+  }
+
+  // FL01: std::accumulate/reduce fed from an unordered container outside a
+  // range-for (e.g. accumulate(m.begin(), m.end(), 0.0)).
+  void check_accumulate(std::size_t i) {
+    if (!is_punct(i + 1, "(")) return;
+    const std::size_t close = skip_parens(i + 1);
+    for (std::size_t k = i + 2; k + 1 < close; ++k) {
+      if (toks[k].kind == TokKind::kIdent && unordered_vars.count(text(k)) &&
+          (is_punct(k + 1, ".") || is_punct(k + 1, "->"))) {
+        report(toks[i].line, "FL01",
+               "std::" + text(i) +
+                   " over an unordered container: summation order depends "
+                   "on hash layout");
+        return;
+      }
+    }
+  }
+
+  void check_hot_token(std::size_t i) {
+    const Token& t = toks[i];
+    if (!in_hot_region(t.line)) return;
+    if (t.kind == TokKind::kIdent) {
+      const std::string& s = t.text;
+      if (s == "new") {
+        report(t.line, "HP01", "new expression in a zero-allocation region");
+      } else if (s == "make_shared" || s == "make_unique" || s == "malloc" ||
+                 s == "calloc" || s == "realloc" || s == "strdup" ||
+                 s == "aligned_alloc") {
+        report(t.line, "HP02", s + " allocates in a zero-allocation region");
+      } else if (s == "push_back" || s == "emplace_back" || s == "emplace" ||
+                 s == "push_front" || s == "insert") {
+        report(t.line, "HP03",
+               s + " may reallocate in a zero-allocation region");
+      } else if (s == "to_string" || s == "stringstream" ||
+                 s == "ostringstream" || s == "format" || s == "append") {
+        report(t.line, "HP04",
+               s + " builds strings in a zero-allocation region");
+      } else if (s == "string" && i >= 2 && is_punct(i - 1, "::") &&
+                 is_ident(i - 2, "std")) {
+        report(t.line, "HP04",
+               "std::string in a zero-allocation region");
+      }
+    } else if (t.kind == TokKind::kPunct &&
+               (t.text == "+" || t.text == "+=")) {
+      const bool lhs_str = i > 0 && toks[i - 1].kind == TokKind::kString;
+      const bool rhs_str =
+          i + 1 < toks.size() && toks[i + 1].kind == TokKind::kString;
+      if (lhs_str || rhs_str)
+        report(t.line, "HP04",
+               "string concatenation in a zero-allocation region");
+    }
+  }
+
+  void check_nd_token(std::size_t i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) return;
+    const std::string& s = t.text;
+    if (ctx.nd_rules) {
+      if (s == "rand" || s == "srand" || s == "rand_r" || s == "drand48" ||
+          s == "lrand48" || s == "mrand48" || s == "random_shuffle" ||
+          (s == "random" && bare_call(i))) {
+        report(t.line, "ND01",
+               s + " is seeded ambiently; draw from sim::Rng instead");
+      } else if (s == "random_device") {
+        report(t.line, "ND02",
+               "random_device reads ambient entropy; results must be a "
+               "pure function of the configured seed");
+      } else if (s == "system_clock" || s == "steady_clock" ||
+                 s == "high_resolution_clock" || s == "gettimeofday" ||
+                 s == "clock_gettime" || s == "timespec_get" ||
+                 s == "localtime" || s == "gmtime" || s == "mktime" ||
+                 s == "ctime" || s == "asctime" || s == "strftime" ||
+                 ((s == "time" || s == "clock") && bare_call(i))) {
+        report(t.line, "ND03",
+               s + ": wall-clock reads must never feed result values "
+                   "(justify timing-only uses with FFCHECK(ND03))");
+      }
+    }
+    if (ctx.getenv_rule &&
+        (s == "getenv" || s == "secure_getenv" || s == "putenv" ||
+         s == "setenv" || s == "unsetenv")) {
+      report(t.line, "ND04",
+             s + ": environment reads belong in tests/, not in library or "
+                 "tool code");
+    }
+  }
+
+  void run(const LexResult& lexed) {
+    collect_hot_regions(lexed.comments);
+    collect_unordered_decls();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      check_nd_token(i);
+      check_hot_token(i);
+      if (is_ident(i, "for")) check_range_for(i);
+      if (is_ident(i, "accumulate") || is_ident(i, "reduce"))
+        check_accumulate(i);
+    }
+    std::stable_sort(
+        diags.begin(), diags.end(),
+        [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
+  }
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& all_rules() { return kRules; }
+
+bool known_rule(std::string_view id) {
+  for (const RuleInfo& r : kRules)
+    if (r.id == id) return true;
+  return false;
+}
+
+std::vector<Diagnostic> run_rules(const LexResult& lexed,
+                                  const FileContext& ctx) {
+  Runner runner{lexed.tokens, ctx, {}, {}, {}};
+  runner.run(lexed);
+  return std::move(runner.diags);
+}
+
+}  // namespace flashflow::lint

@@ -63,6 +63,9 @@ void FairShareSolver::prepare(std::span<const FairShareFlow> flows,
   prepared_ = true;
 }
 
+// FF_HOT_BEGIN: per-second fair-share re-solve — runs once per simulated
+// second per slot; every working vector below is pooled scratch whose
+// capacity persists across solves (ffcheck guards the region).
 std::span<const double> FairShareSolver::solve_prepared(
     std::span<const FairShareResource> resources) {
   if (!prepared_)
@@ -79,6 +82,9 @@ std::span<const double> FairShareSolver::solve_prepared(
     remaining_[r] = resources[r].capacity > 0
                         ? resources[r].capacity
                         : std::numeric_limits<double>::infinity();
+    // FFCHECK(HP03): finite_res_ is pooled scratch; its capacity reaches
+    // num_resources_ on the first solve and persists, so steady-state
+    // re-solves never allocate here.
     if (std::isfinite(remaining_[r])) finite_res_.push_back(r);
   }
   active_weight_.assign(active_weight_base_.begin(),
@@ -148,6 +154,7 @@ std::span<const double> FairShareSolver::solve_prepared(
   }
   return {rates_.data(), num_flows_};
 }
+// FF_HOT_END: per-second fair-share re-solve
 
 std::span<const double> FairShareSolver::solve(
     std::span<const FairShareResource> resources,

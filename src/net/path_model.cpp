@@ -188,6 +188,9 @@ double TieredPathModel::loaded_loss(HostId a, HostId b) const {
   return a == b ? 0.0 : params_.loaded_loss;
 }
 
+// FF_HOT_BEGIN: bulk path resolution — one call per (target, slot) from
+// the slot hot path; must stay pure table reads plus the stateless
+// per-pair jitter hash (ffcheck guards the region).
 void TieredPathModel::fill_paths(HostId from, std::span<const HostId> to,
                                  std::span<PathCharacteristics> out) const {
   const std::int32_t from_tier = host_tier_[from];
@@ -204,5 +207,6 @@ void TieredPathModel::fill_paths(HostId from, std::span<const HostId> to,
     out[i].loaded_loss = params_.loaded_loss;
   }
 }
+// FF_HOT_END: bulk path resolution
 
 }  // namespace flashflow::net

@@ -102,6 +102,8 @@ class Topology {
   std::vector<Host> hosts_;
   std::unique_ptr<PathModel> model_;
   /// name -> id of the first host added under that name.
+  // FFCHECK(ND06): point lookups only (find/emplace in topology.cpp);
+  // never iterated, so hash order cannot reach results.
   std::unordered_map<std::string, HostId> name_index_;
 };
 

@@ -65,8 +65,12 @@ class EventQueue {
   // heap_ and cancelled_ are mutable so that lazily dropping tombstoned
   // entries (a pure cleanup) can happen from const observers.
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // FFCHECK(ND06): membership tests and erase-by-id only; firing order is
+  // decided by heap_'s (time, seq) ordering, never by hash order.
   mutable std::unordered_set<EventId> cancelled_;
   // Callbacks live outside the heap so Entry stays trivially copyable.
+  // FFCHECK(ND06): find/erase by EventId only; never iterated, so hash
+  // order cannot influence which callback fires when.
   std::unordered_map<EventId, std::function<void()>> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -80,6 +80,8 @@ class MeasurementSender {
   std::uint64_t checked_ = 0;
   std::uint64_t failures_ = 0;
   // Recorded plaintexts by cell index (sparse: only ~p_check of cells).
+  // FFCHECK(ND06): keyed lookups by echo index only (find/erase in
+  // circuit.cpp); never iterated, so hash order cannot reach verification.
   std::unordered_map<std::uint64_t,
                      std::array<std::uint8_t, kCellPayloadSize>>
       recorded_;

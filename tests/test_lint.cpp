@@ -1,0 +1,434 @@
+// ffcheck unit tests: the lexer's literal/comment handling and every rule
+// family, driven by inline source snippets. The snippets live in raw
+// strings, which doubles as a regression test of the self-lint: banned
+// tokens inside string literals must never fire, so this very file passes
+// `ffcheck tests/` clean while containing every violation in the book.
+
+#include "lint/ffcheck.h"
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = flashflow::lint;
+
+namespace {
+
+std::vector<std::string> rules_found(const lint::FileReport& report) {
+  std::vector<std::string> ids;
+  for (const auto& d : report.diagnostics) ids.push_back(d.rule);
+  return ids;
+}
+
+bool has_rule(const lint::FileReport& report, const std::string& id) {
+  const auto ids = rules_found(report);
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+int line_of(const lint::FileReport& report, const std::string& id) {
+  for (const auto& d : report.diagnostics)
+    if (d.rule == id) return d.line;
+  return -1;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- lexer ---
+
+TEST(Lexer, ClassifiesTokenKinds) {
+  const auto lexed = lint::lex("int x = 42; foo(\"str\", 'c');");
+  ASSERT_GE(lexed.tokens.size(), 8u);
+  EXPECT_EQ(lexed.tokens[0].kind, lint::TokKind::kIdent);
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  EXPECT_EQ(lexed.tokens[3].kind, lint::TokKind::kNumber);
+  EXPECT_EQ(lexed.tokens[3].text, "42");
+  bool saw_string = false;
+  bool saw_char = false;
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == lint::TokKind::kString) {
+      saw_string = true;
+      EXPECT_EQ(t.text, "str");
+    }
+    if (t.kind == lint::TokKind::kChar) saw_char = true;
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto lexed = lint::lex("a\nb\n\nc\n");
+  ASSERT_EQ(lexed.tokens.size(), 3u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  EXPECT_EQ(lexed.tokens[1].line, 2);
+  EXPECT_EQ(lexed.tokens[2].line, 4);
+}
+
+TEST(Lexer, CapturesLineAndBlockComments) {
+  const auto lexed =
+      lint::lex("int a; // trailing note\n/* block\n   spans lines */\n");
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_FALSE(lexed.comments[0].block);
+  EXPECT_EQ(lexed.comments[0].text, "trailing note");
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_TRUE(lexed.comments[1].block);
+  EXPECT_EQ(lexed.comments[1].line, 2);
+  EXPECT_EQ(lexed.comments[1].end_line, 3);
+}
+
+TEST(Lexer, BannedTokensInsideLiteralsAreInvisible) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+const char* a = "std::rand() and random_device";
+const char* b = R"x(getenv("HOME") and )" inside a raw string)x";
+// a comment mentioning std::rand() never fires either
+/* nor does a block comment with random_device */
+)SRC");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Lexer, RawStringDelimitersHonored) {
+  // The )" inside the delimited raw string must not end it early; the
+  // rand() after the real terminator must still be seen as code.
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "auto s = R\"q(fake end )\" still string)q\"; int y = rand();\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "ND01");
+}
+
+TEST(Lexer, BlockCommentsDoNotNest) {
+  // C++ block comments end at the first */ — the code after it is live,
+  // so the rand() call must be reported.
+  const auto report =
+      lint::analyze_source("src/x.cpp", "/* /* */ int x = rand();\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "ND01");
+}
+
+TEST(Lexer, PreprocessorDirectivesSkipped) {
+  // #include <unordered_map> must not read as an unordered_map mention,
+  // across continuation lines too.
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+#include <unordered_map>
+#include <random>
+#define WIDE(x) \
+  rand(x)
+int y = 0;
+)SRC");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+// -------------------------------------------------------------- ND rules ---
+
+TEST(NdRules, BansAmbientRngInSrc) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp", "int a = rand(); srand(1);\nstd::random_device rd;\n");
+  EXPECT_TRUE(has_rule(report, "ND01"));
+  EXPECT_TRUE(has_rule(report, "ND02"));
+}
+
+TEST(NdRules, SrcOnlyRulesDoNotBindTestsOrTools) {
+  const std::string src = "int a = rand(); std::random_device rd;\n";
+  EXPECT_TRUE(lint::analyze_source("tests/t.cpp", src).diagnostics.empty());
+  EXPECT_TRUE(lint::analyze_source("tools/t.cpp", src).diagnostics.empty());
+  EXPECT_FALSE(lint::analyze_source("src/t.cpp", src).diagnostics.empty());
+}
+
+TEST(NdRules, WallClockReads) {
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source(
+          "src/x.cpp", "auto t = std::chrono::system_clock::now();\n"),
+      "ND03"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "time_t t = time(nullptr);\n"),
+      "ND03"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "time_t t = std::time(nullptr);\n"),
+      "ND03"));
+  // Member calls and unrelated identifiers that merely end in "time" are
+  // not wall-clock reads.
+  EXPECT_TRUE(lint::analyze_source("src/x.cpp",
+                                   "auto t = sim.time(); queue.next_time();\n")
+                  .diagnostics.empty());
+}
+
+TEST(NdRules, GetenvBindsOutsideTestsOnly) {
+  const std::string src = "const char* home = getenv(\"HOME\");\n";
+  EXPECT_TRUE(has_rule(lint::analyze_source("src/x.cpp", src), "ND04"));
+  EXPECT_TRUE(has_rule(lint::analyze_source("tools/x.cpp", src), "ND04"));
+  EXPECT_TRUE(has_rule(lint::analyze_source("bench/x.cpp", src), "ND04"));
+  EXPECT_FALSE(has_rule(lint::analyze_source("tests/x.cpp", src), "ND04"));
+}
+
+TEST(NdRules, RangeForOverUnorderedContainer) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+std::unordered_map<int, double> m;
+void f() {
+  for (const auto& [k, v] : m) use(k, v);
+}
+)SRC");
+  EXPECT_TRUE(has_rule(report, "ND05"));
+  // Range-for over a vector is fine.
+  const auto ok = lint::analyze_source("src/x.cpp", R"SRC(
+std::vector<double> v;
+void f() {
+  for (double d : v) use(d);
+}
+)SRC");
+  EXPECT_TRUE(ok.diagnostics.empty()) << lint::format_report(ok);
+}
+
+TEST(NdRules, UnorderedDeclNeedsJustification) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp", "std::unordered_set<int> seen;\n");
+  ASSERT_TRUE(has_rule(report, "ND06"));
+  EXPECT_EQ(line_of(report, "ND06"), 1);
+}
+
+// -------------------------------------------------------------- FL rules ---
+
+TEST(FlRules, AccumulationInsideUnorderedIteration) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+std::unordered_map<int, double> weights;
+double total() {
+  double sum = 0.0;
+  for (const auto& [k, w] : weights) sum += w;
+  return sum;
+}
+)SRC");
+  EXPECT_TRUE(has_rule(report, "FL01"));
+}
+
+TEST(FlRules, AccumulateOverUnorderedBeginEnd) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+std::unordered_map<int, double> m;
+double f() { return std::accumulate(m.begin(), m.end(), 0.0, add); }
+)SRC");
+  EXPECT_TRUE(has_rule(report, "FL01"));
+  // accumulate over an ordered container is fine.
+  const auto ok = lint::analyze_source(
+      "src/x.cpp",
+      "std::vector<double> v;\n"
+      "double f() { return std::accumulate(v.begin(), v.end(), 0.0); }\n");
+  EXPECT_FALSE(has_rule(ok, "FL01"));
+}
+
+// -------------------------------------------------------------- HP rules ---
+
+namespace {
+
+// Builds a snippet with `body` inside an annotated hot region.
+std::string hot(const std::string& body) {
+  return "// FF_HOT_BEGIN: test region\n" + body + "\n// FF_HOT_END: test\n";
+}
+
+}  // namespace
+
+TEST(HpRules, AllocationShapedCallsInHotRegion) {
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", hot("int* p = new int(3);")),
+      "HP01"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp",
+                           hot("auto p = std::make_shared<int>(3);")),
+      "HP02"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", hot("v.push_back(1);")), "HP03"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", hot("v.emplace_back(1);")), "HP03"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp",
+                           hot("std::string s = std::to_string(4);")),
+      "HP04"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", hot("name = name + \"suffix\";")),
+      "HP04"));
+}
+
+TEST(HpRules, SameCallsOutsideRegionAreFine) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "void f(std::vector<int>& v) { v.push_back(1); int* p = new int; }\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(HpRules, HotRegionsBindByLineRange) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+void before(std::vector<int>& v) { v.push_back(0); }
+// FF_HOT_BEGIN: inner
+void inner(std::vector<int>& v) { v.push_back(1); }
+// FF_HOT_END: inner
+void after(std::vector<int>& v) { v.push_back(2); }
+)SRC");
+  ASSERT_EQ(report.diagnostics.size(), 1u) << lint::format_report(report);
+  EXPECT_EQ(report.diagnostics[0].rule, "HP03");
+  EXPECT_EQ(report.diagnostics[0].line, 4);
+}
+
+TEST(HpRules, UnbalancedAnnotationsAreFindings) {
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "// FF_HOT_BEGIN: never closed\n"),
+      "FF04"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "// FF_HOT_END: never opened\n"),
+      "FF04"));
+  EXPECT_TRUE(has_rule(lint::analyze_source("src/x.cpp",
+                                            "// FF_HOT_BEGIN: one\n"
+                                            "// FF_HOT_BEGIN: two\n"
+                                            "// FF_HOT_END: one\n"),
+                       "FF04"));
+}
+
+TEST(HpRules, DocCommentMentioningAnnotationIsNotARegion) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// regions use FF_HOT_BEGIN / FF_HOT_END markers\n"
+      "void f(std::vector<int>& v) { v.push_back(1); }\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+// ---------------------------------------------------------- suppressions ---
+
+TEST(Suppressions, TrailingCommentCoversItsLine) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "int a = rand();  // FFCHECK(ND01): fixture value, result-free\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Suppressions, CommentAboveCoversNextLine) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// FFCHECK(ND01): fixture value, result-free\n"
+      "int a = rand();\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Suppressions, MultiLineJustificationCoversCodeBelow) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// FFCHECK(ND01): a justification long enough to need a second\n"
+      "// line, which still covers the code right under the block.\n"
+      "int a = rand();\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Suppressions, AnchorBelowDocTextStillCovers) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// Doc text about this member, directly above the suppression.\n"
+      "// FFCHECK(ND06): lookup-only; never iterated.\n"
+      "std::unordered_map<int, int> index_;\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Suppressions, ListedRulesAllApply) {
+  const auto report = lint::analyze_source("src/x.cpp", R"SRC(
+std::unordered_map<int, double> m;
+void f() {
+  // FFCHECK(ND05, FL01): order-insensitive: integer count, summed into
+  // an exact accumulator for a diagnostic counter only.
+  for (const auto& [k, v] : m) counter += 1;
+}
+)SRC");
+  // The ND06 on the declaration is the only remaining finding.
+  ASSERT_EQ(report.diagnostics.size(), 1u) << lint::format_report(report);
+  EXPECT_EQ(report.diagnostics[0].rule, "ND06");
+}
+
+TEST(Suppressions, UnusedSuppressionIsAFinding) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// FFCHECK(ND01): nothing on the next line matches this rule\n"
+      "int a = 3;\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "FF01");
+  EXPECT_EQ(report.diagnostics[0].line, 1);
+}
+
+TEST(Suppressions, PartiallyUsedListStillFlagsStaleRule) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// FFCHECK(ND01, ND02): only the rand() below actually matches\n"
+      "int a = rand();\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u) << lint::format_report(report);
+  EXPECT_EQ(report.diagnostics[0].rule, "FF01");
+}
+
+TEST(Suppressions, MissingReasonIsAFinding) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp", "int a = rand();  // FFCHECK(ND01):\n");
+  EXPECT_TRUE(has_rule(report, "FF02"));
+  // The underlying finding is NOT silenced by a reasonless marker.
+  EXPECT_TRUE(has_rule(report, "ND01"));
+}
+
+TEST(Suppressions, UnknownRuleIsAFinding) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp", "int a = rand();  // FFCHECK(ND99): no such rule\n");
+  EXPECT_TRUE(has_rule(report, "FF03"));
+  EXPECT_TRUE(has_rule(report, "ND01"));
+}
+
+TEST(Suppressions, MalformedMarkerIsAFinding) {
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "// FFCHECK ND01: lost parens\n"),
+      "FF03"));
+  EXPECT_TRUE(has_rule(
+      lint::analyze_source("src/x.cpp", "// FFCHECK(ND01) forgot colon\n"),
+      "FF03"));
+}
+
+TEST(Suppressions, DocMentionMidCommentIsNotASuppression) {
+  // A sentence mentioning the syntax must neither suppress nor trip FF03.
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "// silence it with a FFCHECK(ND01): reason comment\n"
+      "int a = 3;\n");
+  EXPECT_TRUE(report.diagnostics.empty()) << lint::format_report(report);
+}
+
+TEST(Suppressions, SuppressionInsideRawStringIsInvisible) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp",
+      "const char* doc = R\"(// FFCHECK(ND01): not a real comment)\";\n"
+      "int a = rand();\n");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "ND01");
+}
+
+// ----------------------------------------------------------------- driver ---
+
+TEST(Driver, ContextForPath) {
+  EXPECT_TRUE(lint::context_for_path("src/core/x.cpp").nd_rules);
+  EXPECT_TRUE(lint::context_for_path("/abs/repo/src/x.h").nd_rules);
+  EXPECT_FALSE(lint::context_for_path("tools/x.cpp").nd_rules);
+  EXPECT_TRUE(lint::context_for_path("tools/x.cpp").getenv_rule);
+  EXPECT_FALSE(lint::context_for_path("tests/x.cpp").getenv_rule);
+}
+
+TEST(Driver, FormatReportShape) {
+  const auto report =
+      lint::analyze_source("src/dir/x.cpp", "int a = rand();\n");
+  const std::string text = lint::format_report(report);
+  EXPECT_EQ(text.rfind("src/dir/x.cpp:1: ND01: ", 0), 0u) << text;
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Driver, DiagnosticsSortedByLine) {
+  const auto report = lint::analyze_source(
+      "src/x.cpp", "std::random_device rd;\nint a = rand();\n");
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_LT(report.diagnostics[0].line, report.diagnostics[1].line);
+}
+
+TEST(Driver, KnownRuleTable) {
+  EXPECT_TRUE(lint::known_rule("ND01"));
+  EXPECT_TRUE(lint::known_rule("HP04"));
+  EXPECT_TRUE(lint::known_rule("FF01"));
+  EXPECT_FALSE(lint::known_rule("ZZ99"));
+  EXPECT_FALSE(lint::all_rules().empty());
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Header self-sufficiency check: every header under src/ must compile as
+# the *first* include of a translation unit, so no header silently leans
+# on what a lucky include order dragged in before it. Run from the repo
+# root (the check_headers CMake target does), or pass the repo root as $1.
+#
+# Exits nonzero listing every failing header with its first compiler error.
+set -u
+
+root="${1:-.}"
+cxx="${CXX:-c++}"
+std="${FLASHFLOW_STD:--std=c++20}"
+
+if [ ! -d "$root/src" ]; then
+  echo "check_headers: no src/ under '$root'" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+fails=0
+total=0
+while IFS= read -r header; do
+  rel="${header#"$root"/src/}"
+  total=$((total + 1))
+  printf '#include "%s"\n#include "%s"\n' "$rel" "$rel" > "$tmpdir/tu.cpp"
+  if ! "$cxx" "$std" -Wall -Wextra -fsyntax-only -I"$root/src" \
+      "$tmpdir/tu.cpp" 2> "$tmpdir/err.txt"; then
+    echo "FAIL: src/$rel"
+    sed -n '1,6p' "$tmpdir/err.txt"
+    fails=$((fails + 1))
+  fi
+done < <(find "$root/src" -name '*.h' | LC_ALL=C sort)
+
+if [ "$fails" -ne 0 ]; then
+  echo "check_headers: $fails of $total headers are not self-sufficient" >&2
+  exit 1
+fi
+echo "check_headers: all $total headers compile standalone"

@@ -1,0 +1,140 @@
+// ffcheck — FlashFlow's determinism & hot-path static-analysis pass.
+//
+// Usage:
+//   ffcheck [--rules] [--quiet] PATH...
+//
+// Each PATH is a file or a directory walked recursively for C++ sources
+// (.h/.hpp/.cpp/.cc); build trees (build*/, _deps/) and VCS metadata are
+// skipped. Findings print as `file:line: RULE: message` and any finding —
+// including an unused or malformed FFCHECK suppression — makes the exit
+// status 1, so the CI lint job and the self-lint ctest entry gate on a
+// clean repo. Exit 2 means a usage or I/O error.
+//
+// See src/lint/rules.h for the rule families and README.md ("Static
+// analysis") for the suppression and FF_HOT annotation contracts.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/ffcheck.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "_deps" ||
+         name.rfind("build", 0) == 0;  // build, build-asan, ...
+}
+
+// Collects the files to scan under one CLI path argument, sorted so the
+// report order (and therefore CI log diffs) is stable.
+bool collect(const std::string& arg, std::vector<std::string>& files) {
+  std::error_code ec;
+  const fs::path root(arg);
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(arg);
+    return true;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "ffcheck: no such file or directory: " << arg << "\n";
+    return false;
+  }
+  fs::recursive_directory_iterator it(root, ec);
+  const fs::recursive_directory_iterator end;
+  if (ec) {
+    std::cerr << "ffcheck: cannot walk " << arg << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) {
+      std::cerr << "ffcheck: walk error under " << arg << ": "
+                << ec.message() << "\n";
+      return false;
+    }
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && cpp_source(it->path()))
+      files.push_back(it->path().generic_string());
+  }
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: ffcheck [--rules] [--quiet] PATH...\n"
+               "  --rules  list every rule id with a one-line summary\n"
+               "  --quiet  suppress the summary line on success\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      for (const auto& rule : flashflow::lint::all_rules())
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ffcheck: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots)
+    if (!collect(root, files)) return 2;
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t findings = 0;
+  std::size_t dirty_files = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "ffcheck: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto report = flashflow::lint::analyze_source(path, buf.str());
+    if (!report.diagnostics.empty()) {
+      std::cout << flashflow::lint::format_report(report);
+      findings += report.diagnostics.size();
+      ++dirty_files;
+    }
+  }
+  if (findings > 0) {
+    std::cerr << "ffcheck: " << findings << " finding"
+              << (findings == 1 ? "" : "s") << " in " << dirty_files
+              << " of " << files.size() << " files\n";
+    return 1;
+  }
+  if (!quiet)
+    std::cerr << "ffcheck: clean (" << files.size() << " files)\n";
+  return 0;
+}
