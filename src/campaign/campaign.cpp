@@ -90,11 +90,18 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   stats.simulated_seconds =
       static_cast<double>(last_slot + 1) * params.slot_seconds;
 
+  // Deterministic fault oracle for this period. With all rates zero the
+  // plan is inert, no fault path below is entered, and the run is
+  // byte-identical to a build without the fault layer.
+  const fault::FaultPlan fault_plan(config_.faults, config_.seed);
+  const bool faults_on = fault_plan.enabled();
+
   RunPlan plan;
   plan.relays = static_cast<int>(relays.size());
   plan.slots_in_period = stats.slots_in_period;
   plan.slots_to_execute = static_cast<int>(occupied.size());
   plan.team_capacity_bits = team_capacity;
+  plan.faults_enabled = faults_on;
   sink.begin(plan);
 
   // Relay-name hashes for the per-target noise substreams, computed once
@@ -126,27 +133,25 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   const std::size_t window =
       std::max<std::size_t>(4 * lane_count * shard, 2 * lane_count);
 
-  // Delivery: slots complete in any order on the pool, but the sink sees
-  // them serialized and in increasing slot order. Workers park finished
-  // SlotResults in the bounded reorder buffer; whoever completes the next
-  // undelivered slot flushes the contiguous prefix. A sink exception
-  // aborts the buffer and propagates through park() into parallel_for's
-  // rethrow; a false return from on_progress cancels the remaining slots.
+  // Work items for the current retry round. Round 0 is the scheduler's
+  // layout; later rounds hold only re-queued failures, grouped into fresh
+  // slots later in the period.
+  struct WorkItem {
+    std::size_t slot = 0;
+    std::vector<std::size_t> members;
+  };
+  std::vector<WorkItem> work;
+  work.reserve(occupied.size());
+  for (const std::size_t s : occupied) work.push_back({s, slot_relays[s]});
+
   std::atomic<bool> cancelled{false};
   // Mutated only inside the deliver callback, which the buffer serializes
   // under its own lock; read again only after parallel_for has drained.
   int delivered_count = 0;
-  SlotReorderBuffer reorder(
-      occupied.size(), window, [&](SlotResult&& ready) {
-        sink.slot_done(ready);
-        ++delivered_count;
-        if (!sink.on_progress(delivered_count,
-                              static_cast<int>(occupied.size()))) {
-          cancelled.store(true);
-          return false;
-        }
-        return true;
-      });
+  // Everything scheduled so far; grows when retry rounds add slots.
+  int scheduled_total = static_cast<int>(occupied.size());
+  int round = 0;
+  int period_end = last_slot + 1;  // slots the period spans, incl. retries
 
   // Per-lane persistent scratch: each parallel_for lane stays on one
   // worker thread, so its SlotWorkspace and target/allocation buffers are
@@ -161,17 +166,27 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   };
   std::vector<WorkerScratch> scratch(lane_count);
 
-  const auto run_slot = [&](std::size_t lane, std::size_t w) {
-    const std::size_t slot = occupied[w];
+  // Per-work-item failure lists for the current round: written lock-free
+  // by whichever worker ran the item, read only after the round's
+  // parallel_for has drained, in deterministic (work, member) order.
+  std::vector<std::vector<std::size_t>> failed_of(work.size());
+
+  const auto run_slot = [&](std::size_t lane, std::size_t w,
+                            SlotReorderBuffer& reorder) {
+    const std::size_t slot = work[w].slot;
     const std::uint64_t sub_seed =
         slot_domain ^ static_cast<std::uint64_t>(slot);
     core::SlotRunner runner(topo_, params, sim::Rng(sub_seed));
+    // Inert plans disarm: the runner's fault-free path stays untouched.
+    // Retry slots are fresh slot indices, so a retried relay gets fresh
+    // fault draws rather than deterministically failing the same way.
+    runner.arm_faults(&fault_plan, static_cast<std::uint64_t>(slot));
     WorkerScratch& ws = scratch[lane];
 
     // §4.2 allocation: each relay in the slot claims f * z0 from the
     // measurers' remaining capacity, largest-residual first.
     ws.residual = measurer_caps_;
-    const std::vector<std::size_t>& slot_members = slot_relays[slot];
+    const std::vector<std::size_t>& slot_members = work[w].members;
     const std::size_t n_targets = slot_members.size();
     if (ws.targets.size() < n_targets) ws.targets.resize(n_targets);
     ws.target_sockets.assign(n_targets, 0);
@@ -216,12 +231,20 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
       est.slot = static_cast<int>(slot);
       est.estimate_bits = outcomes[t].estimate_bits;
       est.verification_failed = outcomes[t].verification_failed;
+      est.quality = outcomes[t].quality;
+      est.attempt = round;
+      est.slot_failed = outcomes[t].failed;
+      // This round was the relay's last chance: a failure now benches it.
+      est.quarantined =
+          outcomes[t].failed && round >= config_.faults.max_retries;
       est.ground_truth_bits =
           relays[r].model.ground_truth(ws.target_sockets[t]);
-      if (est.ground_truth_bits > 0.0 && !est.verification_failed)
+      if (est.ground_truth_bits > 0.0 && !est.verification_failed &&
+          !est.slot_failed)
         est.relative_error =
             est.estimate_bits / est.ground_truth_bits - 1.0;
       result.estimates.push_back(est);
+      if (outcomes[t].failed) failed_of[w].push_back(r);
     }
     if (config_.record_outcomes) result.outcomes = std::move(outcomes);
 
@@ -231,32 +254,131 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     reorder.park(w, std::move(result));
   };
 
-  pool.parallel_for(occupied.size(), shard, [&](std::size_t lane,
-                                                std::size_t w) {
-    if (cancelled.load()) return;
-    // Any exception — from the slot computation or from the sink via
-    // park() — must abort the reorder buffer before leaving the worker:
-    // peers blocked beyond the bounded window are only woken by delivery
-    // progress or an abort, and a slot that dies uncomputed means the
-    // delivery cursor could never reach them (parallel_for stops further
-    // claims and rethrows the exception after the drain; abort() is
-    // idempotent when park() already aborted).
-    try {
-      run_slot(lane, w);
-    } catch (...) {
-      cancelled.store(true);
-      reorder.abort();
-      throw;
-    }
-  });
+  // Retry placement bookkeeping, engaged only after a round reports
+  // failures: which slots already ran (or were claimed by an earlier
+  // retry) and how much re-queued load each spare slot carries.
+  std::vector<char> slot_taken;
+  std::vector<double> retry_load;
 
-  // parallel_for has drained; count what was actually delivered. Slots
-  // computed but never handed to the sink (cancellation raced ahead of
-  // them) count as skipped alongside the never-claimed ones.
+  while (true) {
+    failed_of.assign(work.size(), {});
+
+    // Delivery: slots complete in any order on the pool, but the sink
+    // sees them serialized and in increasing slot order within the round.
+    // Workers park finished SlotResults in the bounded reorder buffer;
+    // whoever completes the next undelivered slot flushes the contiguous
+    // prefix. A sink exception aborts the buffer and propagates through
+    // park() into parallel_for's rethrow; a false return from on_progress
+    // cancels the remaining slots (and any further retry round).
+    SlotReorderBuffer reorder(work.size(), window, [&](SlotResult&& ready) {
+      sink.slot_done(ready);
+      ++delivered_count;
+      if (!sink.on_progress(delivered_count, scheduled_total)) {
+        cancelled.store(true);
+        return false;
+      }
+      return true;
+    });
+
+    pool.parallel_for(work.size(), shard, [&](std::size_t lane,
+                                              std::size_t w) {
+      if (cancelled.load()) return;
+      // Any exception — from the slot computation or from the sink via
+      // park() — must abort the reorder buffer before leaving the worker:
+      // peers blocked beyond the bounded window are only woken by delivery
+      // progress or an abort, and a slot that dies uncomputed means the
+      // delivery cursor could never reach them (parallel_for stops further
+      // claims and rethrows the exception after the drain; abort() is
+      // idempotent when park() already aborted).
+      try {
+        run_slot(lane, w, reorder);
+      } catch (...) {
+        cancelled.store(true);
+        reorder.abort();
+        throw;
+      }
+    });
+
+    // The round has drained; count what was actually delivered. Slots
+    // computed but never handed to the sink (cancellation raced ahead of
+    // them) count as skipped alongside the never-claimed ones.
+    const int round_delivered = static_cast<int>(reorder.delivered());
+    stats.slots_executed += round_delivered;
+    if (round > 0) stats.slots_retried += round_delivered;
+    if (cancelled.load()) break;
+
+    // Collect the round's failures in deterministic (work, member) order.
+    // verification_failed is not a fault: a relay that flunked the spot
+    // check is never retried (outcome.failed stays false for it).
+    std::vector<std::pair<std::size_t, std::size_t>> failures;  // (r, slot)
+    for (std::size_t w = 0; w < work.size(); ++w) {
+      if (failed_of[w].empty()) continue;
+      ++stats.slots_failed;
+      for (const std::size_t r : failed_of[w])
+        failures.emplace_back(r, work[w].slot);
+    }
+    if (failures.empty() || round >= config_.faults.max_retries) break;
+
+    if (slot_taken.empty()) {
+      const std::size_t horizon = static_cast<std::size_t>(
+          std::max(stats.slots_in_period, period_end));
+      slot_taken.assign(horizon, 0);
+      for (const std::size_t s : occupied) slot_taken[s] = 1;
+      retry_load.assign(horizon, 0.0);
+    }
+
+    // Re-queue each failure into spare capacity strictly later in the
+    // period: the earliest never-used slot after the failed one whose
+    // re-queued load still fits the team. Greedy packing derives the
+    // period's length from the work, so it may append fresh slots past
+    // the end; the randomized schedule's period is fixed-length — a
+    // failure that fits nowhere within it stays failed (not quarantined:
+    // the retry budget was never spent).
+    std::vector<std::pair<std::size_t, std::size_t>> placed;  // (slot, r)
+    for (const auto& [r, failed_slot] : failures) {
+      const double load = params.excess_factor() * priors[r];
+      bool found = false;
+      for (std::size_t s = failed_slot + 1; s < slot_taken.size(); ++s) {
+        if (slot_taken[s]) continue;
+        if (retry_load[s] > 0.0 && retry_load[s] + load > team_capacity)
+          continue;
+        retry_load[s] += load;
+        placed.emplace_back(s, r);
+        found = true;
+        break;
+      }
+      if (!found && config_.schedule == ScheduleMode::kGreedyPack) {
+        slot_taken.push_back(0);
+        retry_load.push_back(load);
+        placed.emplace_back(slot_taken.size() - 1, r);
+      }
+    }
+    if (placed.empty()) break;
+
+    std::stable_sort(placed.begin(), placed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<WorkItem> next;
+    for (const auto& [s, r] : placed) {
+      if (next.empty() || next.back().slot != s)
+        next.push_back({s, {}});
+      next.back().members.push_back(r);
+      period_end = std::max(period_end, static_cast<int>(s) + 1);
+    }
+    // Consumed: later rounds may not re-queue into an executed slot.
+    for (const auto& item : next) slot_taken[item.slot] = 1;
+    work = std::move(next);
+    scheduled_total += static_cast<int>(work.size());
+    ++round;
+  }
+
   stats.cancelled = cancelled.load();
-  stats.slots_executed = static_cast<int>(reorder.delivered());
-  stats.slots_skipped =
-      static_cast<int>(occupied.size()) - stats.slots_executed;
+  stats.slots_skipped = scheduled_total - stats.slots_executed;
+  stats.slots_in_period = std::max(stats.slots_in_period, period_end);
+  stats.simulated_seconds =
+      std::max(stats.simulated_seconds,
+               static_cast<double>(period_end) * params.slot_seconds);
   stats.wall_seconds =
       // FFCHECK(ND03): timing-only read; wall_seconds is reporting-only
       // and never feeds estimates, sinks, or the golden hashes.

@@ -28,6 +28,7 @@
 
 #include "core/measurement.h"
 #include "core/params.h"
+#include "fault/fault.h"
 #include "net/topology.h"
 #include "tor/relay.h"
 
@@ -72,6 +73,10 @@ struct CampaignConfig {
   /// SlotResult (timeline experiments). Off by default: outcomes hold four
   /// per-second series per relay, which adds up over a large population.
   bool record_outcomes = false;
+  /// Deterministic fault injection (fault::FaultPlan keyed by `seed`).
+  /// All-zero rates (the default) keep every fault path unentered: the
+  /// run is byte-identical to a build without the fault layer.
+  fault::FaultSpec faults;
 };
 
 /// Per-relay campaign outcome, aligned with the input population.
@@ -83,6 +88,19 @@ struct RelayEstimate {
   /// relay failed verification.
   double relative_error = 0.0;
   bool verification_failed = false;
+  /// Evidence quality of the winning attempt (core::SlotOutcome::quality);
+  /// 1.0 for a fault-free measurement, < 1.0 when the estimate came from
+  /// degraded evidence.
+  double quality = 1.0;
+  /// Retry round that produced this estimate (0 = first attempt).
+  int attempt = 0;
+  /// The final attempt produced no usable estimate (estimate_bits == 0).
+  /// Distinct from verification_failed, which is a security outcome and is
+  /// never retried.
+  bool slot_failed = false;
+  /// Failed on every attempt up to FaultSpec::max_retries: the relay is
+  /// benched until the next period (which starts it fresh).
+  bool quarantined = false;
 
   friend bool operator==(const RelayEstimate&, const RelayEstimate&) = default;
 };
@@ -106,6 +124,15 @@ struct CampaignSummary {
   double max_abs_relative_error = 0.0;
   double total_true_bits = 0.0;
   double total_estimated_bits = 0.0;
+  /// Fault accounting (all zero on a fault-free run).
+  /// Relays whose final attempt still failed (includes the quarantined).
+  int relays_failed = 0;
+  /// Relays that needed at least one retry (whether or not it succeeded).
+  int relays_retried = 0;
+  /// Relays that exhausted the retry budget.
+  int relays_quarantined = 0;
+  /// Relays measured successfully but from degraded evidence (quality < 1).
+  int relays_degraded = 0;
 
   friend bool operator==(const CampaignSummary&,
                          const CampaignSummary&) = default;
@@ -123,9 +150,14 @@ struct CampaignResult {
 struct RunPlan {
   int relays = 0;
   int slots_in_period = 0;
-  /// Occupied slots that will execute (and be delivered).
+  /// Occupied slots that will execute (and be delivered) in the first
+  /// round; retry rounds add more deliveries after this.
   int slots_to_execute = 0;
   double team_capacity_bits = 0.0;
+  /// Fault injection is armed: sinks that serialize estimates append the
+  /// fault columns only in this case, keeping fault-free byte streams
+  /// identical to pre-fault builds.
+  bool faults_enabled = false;
 };
 
 /// One completed slot: the estimates of every relay measured in it.
@@ -146,16 +178,24 @@ struct RunStats {
   int slots_in_period = 0;
   /// Slots delivered to the sink.
   int slots_executed = 0;
-  /// Occupied slots skipped because the sink cancelled the run.
+  /// Occupied slots skipped because the sink cancelled the run (counted
+  /// against everything scheduled, retry rounds included):
+  /// slots_executed + slots_skipped == slots scheduled overall.
   int slots_skipped = 0;
+  /// Executed slots in which at least one relay's measurement failed.
+  int slots_failed = 0;
+  /// Retry slots executed (rounds after the first).
+  int slots_retried = 0;
   double simulated_seconds = 0.0;
   double wall_seconds = 0.0;
   bool cancelled = false;
 };
 
 /// Streaming consumer of campaign results. Delivery is serialized and in
-/// increasing slot order regardless of the thread count, so anything a sink
-/// writes is bit-identical across runs with different `threads`.
+/// increasing slot order within each retry round regardless of the thread
+/// count (fault-free runs have exactly one round, hence globally increasing
+/// slot order), so anything a sink writes is bit-identical across runs with
+/// different `threads`.
 class SlotSink {
  public:
   virtual ~SlotSink() = default;
@@ -168,7 +208,8 @@ class SlotSink {
 
   /// Progress/cancellation hook, called after each delivery. Returning
   /// false cancels the remaining slots: workers stop claiming work and no
-  /// further slot_done call is made.
+  /// further slot_done call is made. `slots_total` covers everything
+  /// scheduled so far and grows when retry rounds add slots.
   virtual bool on_progress(int slots_done, int slots_total) {
     (void)slots_done;
     (void)slots_total;

@@ -106,10 +106,18 @@ CampaignResult AggregatingSink::result(const RunStats& stats) && {
     // error statistics with their zero-initialized entries.
     if (est.slot < 0) continue;
     ++summary.relays_measured;
+    if (est.attempt > 0) ++summary.relays_retried;
+    if (est.quarantined) ++summary.relays_quarantined;
+    if (est.slot_failed) {
+      // No usable estimate: keep the zeros out of the error aggregates.
+      ++summary.relays_failed;
+      continue;
+    }
     if (est.verification_failed) {
       ++summary.verification_failures;
       continue;
     }
+    if (est.quality < 1.0) ++summary.relays_degraded;
     summary.total_true_bits += est.ground_truth_bits;
     summary.total_estimated_bits += est.estimate_bits;
     abs_errors.push_back(std::fabs(est.relative_error));
@@ -125,11 +133,14 @@ CampaignResult AggregatingSink::result(const RunStats& stats) && {
   return std::move(result_);
 }
 
-void CsvSink::begin(const RunPlan&) {
+void CsvSink::begin(const RunPlan& plan) {
   ++period_;
+  faults_ = plan.faults_enabled;
   if (!header_written_) {
     out_ << "period,relay,slot,estimate_bits,ground_truth_bits,"
-            "relative_error,verification_failed\n";
+            "relative_error,verification_failed";
+    if (faults_) out_ << ",quality,attempt,slot_failed,quarantined";
+    out_ << '\n';
     header_written_ = true;
   }
 }
@@ -140,11 +151,18 @@ void CsvSink::slot_done(const SlotResult& slot) {
     out_ << period_ << ',' << slot.relay_indices[i] << ',' << est.slot << ','
          << fmt(est.estimate_bits) << ',' << fmt(est.ground_truth_bits) << ','
          << fmt(est.relative_error) << ','
-         << (est.verification_failed ? 1 : 0) << '\n';
+         << (est.verification_failed ? 1 : 0);
+    if (faults_)
+      out_ << ',' << fmt(est.quality) << ',' << est.attempt << ','
+           << (est.slot_failed ? 1 : 0) << ',' << (est.quarantined ? 1 : 0);
+    out_ << '\n';
   }
 }
 
-void JsonlSink::begin(const RunPlan&) { ++period_; }
+void JsonlSink::begin(const RunPlan& plan) {
+  ++period_;
+  faults_ = plan.faults_enabled;
+}
 
 void JsonlSink::slot_done(const SlotResult& slot) {
   for (std::size_t i = 0; i < slot.relay_indices.size(); ++i) {
@@ -155,7 +173,33 @@ void JsonlSink::slot_done(const SlotResult& slot) {
          << ",\"ground_truth_bits\":" << fmt(est.ground_truth_bits)
          << ",\"relative_error\":" << fmt(est.relative_error)
          << ",\"verification_failed\":"
-         << (est.verification_failed ? "true" : "false") << "}\n";
+         << (est.verification_failed ? "true" : "false");
+    if (faults_)
+      out_ << ",\"quality\":" << fmt(est.quality)
+           << ",\"attempt\":" << est.attempt << ",\"slot_failed\":"
+           << (est.slot_failed ? "true" : "false") << ",\"quarantined\":"
+           << (est.quarantined ? "true" : "false");
+    out_ << "}\n";
+  }
+}
+
+void FaultLedgerSink::begin(const RunPlan&) {
+  ++period_;
+  if (!header_written_) {
+    out_ << "period,relay,slot,attempt,failed,quarantined,quality\n";
+    header_written_ = true;
+  }
+}
+
+void FaultLedgerSink::slot_done(const SlotResult& slot) {
+  for (std::size_t i = 0; i < slot.relay_indices.size(); ++i) {
+    const RelayEstimate& est = slot.estimates[i];
+    if (est.attempt == 0 && !est.slot_failed && !est.quarantined &&
+        est.quality >= 1.0)
+      continue;
+    out_ << period_ << ',' << slot.relay_indices[i] << ',' << est.slot << ','
+         << est.attempt << ',' << (est.slot_failed ? 1 : 0) << ','
+         << (est.quarantined ? 1 : 0) << ',' << fmt(est.quality) << '\n';
   }
 }
 

@@ -107,7 +107,10 @@ class AggregatingSink : public SlotSink {
 
 /// One CSV row per relay estimate:
 ///   period,relay,slot,estimate_bits,ground_truth_bits,relative_error,
-///   verification_failed
+///   verification_failed[,quality,attempt,slot_failed,quarantined]
+/// The bracketed fault columns appear only when the run has fault
+/// injection armed (RunPlan::faults_enabled): fault-free byte streams are
+/// identical to pre-fault builds, which the golden hashes pin.
 /// Doubles are printed round-trip (max_digits10) so files diff cleanly
 /// across runs. The header is written once even if the sink is reused
 /// across periods (scenario::Experiment streams every period into one
@@ -121,11 +124,13 @@ class CsvSink : public SlotSink {
  private:
   std::ostream& out_;
   bool header_written_ = false;
+  bool faults_ = false;
   int period_ = -1;
 };
 
 /// One JSON object per relay estimate, one per line (JSONL), same fields
-/// as CsvSink plus the period index when reused across periods.
+/// as CsvSink plus the period index when reused across periods. As with
+/// CsvSink, the fault fields appear only when the run has faults armed.
 class JsonlSink : public SlotSink {
  public:
   explicit JsonlSink(std::ostream& out) : out_(out) {}
@@ -134,6 +139,24 @@ class JsonlSink : public SlotSink {
 
  private:
   std::ostream& out_;
+  bool faults_ = false;
+  int period_ = -1;
+};
+
+/// The fault ledger: one CSV row per relay estimate that a fault actually
+/// touched — retried, failed, quarantined, or measured from degraded
+/// evidence (quality < 1). Healthy estimates write nothing, so the file
+/// stays small and scannable:
+///   period,relay,slot,attempt,failed,quarantined,quality
+class FaultLedgerSink : public SlotSink {
+ public:
+  explicit FaultLedgerSink(std::ostream& out) : out_(out) {}
+  void begin(const RunPlan& plan) override;
+  void slot_done(const SlotResult& slot) override;
+
+ private:
+  std::ostream& out_;
+  bool header_written_ = false;
   int period_ = -1;
 };
 

@@ -54,6 +54,21 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     std::span<const ConcurrentTarget> targets, SlotWorkspace& ws) {
   const int t_seconds = params_.slot_seconds;
   const std::size_t n_targets = targets.size();
+  const bool have_faults = fault_plan_ != nullptr;
+
+  // Whole-slot timeout: the slot never runs. Series stay empty (shaped
+  // per team so downstream consumers can still iterate), every target
+  // fails, and rng_ is never touched — the decision is the plan's alone.
+  if (have_faults && fault_plan_->slot_timeout(fault_slot_)) {
+    std::vector<SlotOutcome> outcomes(n_targets);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      outcomes[t].x_by_measurer.resize(targets[t].team.size());
+      outcomes[t].quality = 0.0;
+      outcomes[t].failed = true;
+      outcomes[t].failure = SlotFailure::kTimeout;
+    }
+    return outcomes;
+  }
 
   // ---------------------------------------------------------- slot setup --
   // Everything invariant across the slot's seconds is computed once here,
@@ -67,6 +82,49 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   for (std::size_t t = 0; t < n_targets; ++t)
     ws.team_offset_[t + 1] = ws.team_offset_[t] + targets[t].team.size();
   const std::size_t n_members = ws.team_offset_[n_targets];
+
+  // Fault draws, resolved up front from the plan's pure per-slot oracle:
+  // when a member's traffic stops (its flow leaves the fair-share
+  // contention at that boundary), when the relay drops off, and how much
+  // of each member's report the BWAuth will receive. segment_bounds_
+  // partitions [0, t) at the distinct crash seconds — the ranges over
+  // which the flow set is constant. Without faults none of this runs and
+  // the slot executes as a single [0, t) segment.
+  ws.segment_bounds_.clear();
+  ws.segment_bounds_.push_back(0);
+  if (have_faults) {
+    ws.member_crash_.resize(n_members);
+    ws.report_end_.resize(n_members);
+    ws.relay_down_.resize(n_targets);
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      const ConcurrentTarget& target = targets[t];
+      const std::uint64_t relay_hash =
+          target.name_hash != 0 ? target.name_hash
+                                : sim::hash_tag(target.relay->name);
+      const int down = fault_plan_->relay_disconnect_second(
+          fault_slot_, relay_hash, t_seconds);
+      ws.relay_down_[t] = down >= 0 ? down : t_seconds;
+      for (std::size_t i = 0; i < target.team.size(); ++i) {
+        const std::size_t m = ws.team_offset_[t] + i;
+        const int crash = fault_plan_->measurer_crash_second(
+            fault_slot_, target.team[i].host, t_seconds);
+        ws.member_crash_[m] = crash >= 0 ? crash : t_seconds;
+        // A crashed member's log covers only its live seconds; report
+        // faults shorten (or drop) what arrives on top of that.
+        ws.report_end_[m] = std::min(
+            ws.member_crash_[m],
+            fault_plan_->report_seconds(fault_slot_, relay_hash,
+                                        target.team[i].host, t_seconds));
+        if (crash > 0 && crash < t_seconds)
+          ws.segment_bounds_.push_back(crash);
+      }
+    }
+    std::sort(ws.segment_bounds_.begin(), ws.segment_bounds_.end());
+    ws.segment_bounds_.erase(std::unique(ws.segment_bounds_.begin(),
+                                         ws.segment_bounds_.end()),
+                             ws.segment_bounds_.end());
+  }
+  ws.segment_bounds_.push_back(t_seconds);
 
   // Noise processes, one per target, plus per-slot condition factors.
   //
@@ -238,12 +296,32 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   ws.y_t_.resize(n_targets);
   ws.x_it_.resize(n_members);
 
+  // Segment loop: between crash boundaries the flow set is constant. At
+  // each boundary after the first, the crashed members' flows leave the
+  // fair-share contention — their caps zero out, which the solver folds
+  // away at prepare time, so the re-prepare happens here (outside the hot
+  // region, at most a handful of times per faulted slot). The fault-free
+  // path has exactly one segment [0, t): the per-second loop below then
+  // runs the exact pre-fault code path, byte for byte.
+  const std::size_t n_segments = ws.segment_bounds_.size() - 1;
+  for (std::size_t seg = 0; seg < n_segments; ++seg) {
+    const int seg_begin = ws.segment_bounds_[seg];
+    const int seg_end = ws.segment_bounds_[seg + 1];
+    if (seg > 0) {
+      for (std::size_t k = 0; k < n_flows; ++k) {
+        const auto [ft, fi] = ws.flow_ids_[k];
+        if (ws.member_crash_[ws.team_offset_[ft] + fi] <= seg_begin)
+          ws.flows_[k].cap = 0.0;
+      }
+      ws.solver_.prepare({ws.flows_.data(), n_flows}, ws.resources_.size());
+    }
+
   // FF_HOT_BEGIN: per-second slot loop — ffcheck rejects allocation-shaped
   // calls until the matching FF_HOT_END (see src/lint/rules.h).
   // ------------------------------------------------------ per-second loop --
   // All stochastic series were batched into arenas above: this loop is
   // pure arithmetic (no rng_ draws, no libm transcendentals).
-  for (int second = 0; second < t_seconds; ++second) {
+  for (int second = seg_begin; second < seg_end; ++second) {
     const std::size_t s = static_cast<std::size_t>(second);
     // Relay-internal capacity this second (CPU, rate limit + burst, noise).
     for (std::size_t t = 0; t < n_targets; ++t) {
@@ -259,6 +337,9 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
       cap = cap * ws.slot_factor_[t] * ws.noise_factor_[t * n_seconds + s] +
             net::mbit(0.15) * ws.jitter_[s * n_targets + t];
       ws.relay_capacity_[t] = std::max(cap, 0.0);
+      // A disconnected relay forwards nothing from its drop second on.
+      if (have_faults && second >= ws.relay_down_[t])
+        ws.relay_capacity_[t] = 0.0;
     }
 
     // The relay reserves the ratio-r background allowance up front (§4.1:
@@ -325,6 +406,15 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     }
   }
   // FF_HOT_END: per-second slot loop
+  }
+
+  if (have_faults) {
+    // Degraded path: the BWAuth only sees what surviving measurers
+    // reported; estimates, verification and quality all re-derive from
+    // the reduced evidence.
+    aggregate_degraded(targets, ws, outcomes);
+    return outcomes;
+  }
 
   // Verification + final estimates.
   for (std::size_t t = 0; t < n_targets; ++t) {
@@ -337,8 +427,97 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     }
     if (!out.verification_failed && !out.z_bits.empty())
       out.estimate_bits = metrics::median(metrics::as_span(out.z_bits));
+    out.usable_seconds = static_cast<int>(out.z_bits.size());
   }
   return outcomes;
+}
+
+void SlotRunner::aggregate_degraded(std::span<const ConcurrentTarget> targets,
+                                    SlotWorkspace& ws,
+                                    std::vector<SlotOutcome>& outcomes) {
+  const int t_seconds = params_.slot_seconds;
+  // Cold path (runs once per faulted slot, after the hot loop): a local
+  // scratch vector is fine here.
+  std::vector<double> z_hat;
+  z_hat.reserve(static_cast<std::size_t>(t_seconds));
+
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    SlotOutcome& out = outcomes[t];
+    const ConcurrentTarget& target = targets[t];
+    const std::size_t off = ws.team_offset_[t];
+    const std::size_t team_size = target.team.size();
+    const double ratio = params_.ratio;
+
+    double total_alloc = 0.0;
+    for (const auto& m : target.team) total_alloc += m.allocated_bits;
+
+    // Per second j the BWAuth holds reports covering allocation A_cov_j
+    // (members whose report reaches second j) out of the allocation
+    // A_alive_j that was actually sending (members not yet crashed;
+    // report_end <= crash by construction, so A_cov <= A_alive). The
+    // measured bytes x~_j it can see scale up by A_alive/A_cov — the
+    // uncovered-but-alive members pushed traffic the relay absorbed even
+    // though their logs are gone. A second is usable when the relay was
+    // still up and the covered allocation keeps the §4.2 headroom: teams
+    // are provisioned at multiplier m (= 2.25) times the prior, so any
+    // surviving fraction >= 1/m still offers enough load to saturate the
+    // relay; below that bar the second under-measures and is refused
+    // rather than scaled.
+    z_hat.clear();
+    double reported_bits = 0.0;   // evidence the spot check can cover
+    double coverage_sum = 0.0;    // sum of per-second A_cov/A, usable secs
+    int usable = 0;
+    const int down = ws.relay_down_[t];
+    const int recorded =
+        std::min(t_seconds, static_cast<int>(out.x_bits.size()));
+    for (int j = 0; j < recorded; ++j) {
+      double a_alive = 0.0, a_cov = 0.0, x_tilde = 0.0;
+      for (std::size_t i = 0; i < team_size; ++i) {
+        const std::size_t m = off + i;
+        const double a = target.team[i].allocated_bits;
+        if (j < ws.member_crash_[m]) a_alive += a;
+        if (j < ws.report_end_[m]) {
+          a_cov += a;
+          x_tilde += out.x_by_measurer[i][static_cast<std::size_t>(j)];
+        }
+      }
+      reported_bits += x_tilde;
+      if (j >= down || a_cov <= 0.0 ||
+          a_cov < total_alloc / params_.multiplier)
+        continue;
+      const double x_hat = x_tilde * (a_alive / a_cov);
+      const double y_hat = clamp_background(
+          out.y_reported_bits[static_cast<std::size_t>(j)], x_hat, ratio);
+      z_hat.push_back(x_hat + y_hat);
+      // The ratio, not the raw allocation: a fully covered second (a_cov
+      // and total_alloc are the same sum, term for term) contributes an
+      // exact 1.0, so an untouched relay's quality is exactly 1.
+      coverage_sum += a_cov / total_alloc;
+      ++usable;
+    }
+
+    // Spot checks run over the measurement bytes the BWAuth actually
+    // received: a reduced team means fewer checkable cells, so detection
+    // probability 1-(1-p)^k re-derives from the surviving report volume
+    // (§4.2 with k shrunk accordingly).
+    if (target.behavior == TargetBehavior::kForgeEchoes) {
+      out.verification_failed =
+          sample_detection(params_.check_probability,
+                           net::bytes_from_bits(reported_bits),
+                           tor::kCellSize, rng_);
+    }
+
+    out.usable_seconds = usable;
+    out.quality = total_alloc > 0.0 && t_seconds > 0
+                      ? coverage_sum / static_cast<double>(t_seconds)
+                      : 0.0;
+    if (usable < fault_plan_->spec().min_usable_seconds) {
+      out.failed = true;
+      out.failure = SlotFailure::kInsufficientEvidence;
+    } else if (!out.verification_failed) {
+      out.estimate_bits = metrics::median(metrics::as_span(z_hat));
+    }
+  }
 }
 
 }  // namespace flashflow::core

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "fault/fault.h"
 #include "net/fairshare.h"
 #include "net/topology.h"
 #include "sim/random.h"
@@ -41,6 +42,16 @@ enum class TargetBehavior {
   kForgeEchoes,         // skips decryption / fabricates responses
 };
 
+/// Why a fault-armed slot produced no usable estimate.
+enum class SlotFailure {
+  kNone,
+  /// Whole-slot timeout (fault::FaultPlan::slot_timeout): nothing ran.
+  kTimeout,
+  /// Fewer usable seconds than FaultSpec::min_usable_seconds survived the
+  /// relay disconnect / crash / report faults.
+  kInsufficientEvidence,
+};
+
 struct SlotOutcome {
   std::vector<double> x_bits;          // per-second aggregated measurement
   std::vector<double> y_reported_bits; // per-second relay-reported normal
@@ -49,6 +60,21 @@ struct SlotOutcome {
   std::vector<std::vector<double>> x_by_measurer;  // x_ij
   double estimate_bits = 0;            // median(z), 0 when aborted
   bool verification_failed = false;
+
+  // Fault-aware accounting (arm_faults). On the fault-free path these
+  // keep their defaults: a healthy slot has full quality and every second
+  // usable.
+  /// Evidence quality in [0, 1]: mean reported-allocation coverage of the
+  /// slot's usable seconds over the whole slot. 1.0 when nothing failed.
+  double quality = 1.0;
+  /// Seconds that met the degraded-estimation bar (see measurement.cpp);
+  /// equals slot_seconds on the fault-free path.
+  int usable_seconds = 0;
+  /// True when the slot produced no usable estimate (estimate_bits == 0);
+  /// the campaign layer retries / quarantines on this, not on
+  /// verification_failed (a security outcome, never retried).
+  bool failed = false;
+  SlotFailure failure = SlotFailure::kNone;
 };
 
 /// Per-second aggregation used by the BWAuth (exposed for unit tests):
@@ -99,6 +125,19 @@ class SlotWorkspace {
   /// per slot), and the characteristics it resolves.
   std::vector<net::HostId> member_hosts_;
   std::vector<net::PathCharacteristics> path_chars_;
+
+  // Fault-path arenas, filled at slot setup only when the runner has a
+  // fault plan armed (the fault-free path never touches them).
+  /// Per member: first second its traffic is gone (slot_seconds = never).
+  std::vector<int> member_crash_;
+  /// Per member: seconds of its report the BWAuth receives.
+  std::vector<int> report_end_;
+  /// Per target: first second the relay is unreachable (slot_seconds =
+  /// stays up).
+  std::vector<int> relay_down_;
+  /// Segment boundaries of the per-second loop: distinct crash seconds
+  /// splitting the slot into ranges with a constant flow set.
+  std::vector<int> segment_bounds_;
 
   // Stochastic per-second series, generated in batches at slot setup so
   // the per-second loop itself runs transcendental-free (the Box-Muller
@@ -169,11 +208,30 @@ class SlotRunner {
   /// before NIC contention (exposed for the Appendix E.1 socket sweep).
   double offered_rate(const MeasurerSlot& m, net::HostId relay_host) const;
 
+  /// Arms deterministic fault injection for subsequent run_concurrent
+  /// calls: `slot` keys the plan's per-slot fault draws (the campaign
+  /// slot index). The plan is borrowed and must outlive the runner; null
+  /// or a disabled plan leaves the fault-free path untouched — its
+  /// output stays byte-identical to a runner that never armed faults.
+  void arm_faults(const fault::FaultPlan* plan, std::uint64_t slot) {
+    fault_plan_ = plan && plan->enabled() ? plan : nullptr;
+    fault_slot_ = slot;
+  }
+
  private:
+  /// Degraded BWAuth aggregation over the recorded per-second series:
+  /// estimates from the surviving (reported, still-alive) allocation
+  /// share, refusing seconds below the §4.2 headroom bar.
+  void aggregate_degraded(std::span<const ConcurrentTarget> targets,
+                          SlotWorkspace& ws,
+                          std::vector<SlotOutcome>& outcomes);
+
   const net::Topology& topo_;
   Params params_;
   sim::Rng rng_;
   SlotWorkspace scratch_;  // backs the workspace-less run_concurrent
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t fault_slot_ = 0;
 };
 
 }  // namespace flashflow::core

@@ -72,6 +72,7 @@ Experiment::Result Experiment::run(campaign::SlotSink* sink,
     config.shard_slots = spec_.shard_slots;
     config.seed = period_seed(spec_, period);
     config.record_outcomes = spec_.record_outcomes;
+    config.faults = spec_.faults;
     const campaign::CampaignRunner runner(materialized_.topology,
                                           std::move(config));
 
@@ -98,10 +99,14 @@ Experiment::Result Experiment::run(campaign::SlotSink* sink,
     }
 
     // §4.3 feedback: this period's accepted estimates become next
-    // period's priors. Failed/unmeasured relays keep their old prior.
+    // period's priors. Failed (including quarantined) and unmeasured
+    // relays keep their old prior rather than dropping to zero — a relay
+    // that missed a period through benign faults must stay schedulable
+    // next period at its last known size.
     for (std::size_t i = 0; i < relays.size(); ++i) {
       const campaign::RelayEstimate& est = period_result.relays[i];
-      if (!est.verification_failed && est.estimate_bits > 0.0)
+      if (!est.verification_failed && !est.slot_failed &&
+          est.estimate_bits > 0.0)
         relays[i].prior_estimate_bits =
             std::min(est.estimate_bits, max_prior);
     }

@@ -150,6 +150,7 @@ void ScenarioSpec::validate() const {
     if (!std::holds_alternative<SyntheticPopulationSpec>(population))
       reject("speedtest window requires a synthetic population");
   }
+  faults.validate();
   if (const auto* t1 = std::get_if<Table1PopulationSpec>(&population)) {
     if (t1->rate_limit_mbit.empty()) reject("table1 population is empty");
     for (const double limit : t1->rate_limit_mbit)
@@ -266,6 +267,11 @@ ScenarioBuilder& ScenarioBuilder::shard_slots(int shard_slots) {
 
 ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
   spec_.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::faults(fault::FaultSpec faults) {
+  spec_.faults = faults;
   return *this;
 }
 
@@ -426,6 +432,7 @@ const campaign::CampaignRunner& Scenario::runner() const {
     config.shard_slots = spec_.shard_slots;
     config.seed = period_seed(spec_, 0);
     config.record_outcomes = spec_.record_outcomes;
+    config.faults = spec_.faults;
     runner_ = std::make_unique<campaign::CampaignRunner>(mat.topology,
                                                          std::move(config));
   }
@@ -534,11 +541,12 @@ analysis::SpeedTestResult run_speed_test(const ScenarioSpec& spec) {
       spec.periods != 1 || spec.record_outcomes ||
       spec.schedule != campaign::ScheduleMode::kGreedyPack ||
       spec.threads != 1 || spec.shard_slots != 0 ||
-      spec.topology != TopologySpec{} || syn->prior_fraction > 0.0)
+      spec.topology != TopologySpec{} || syn->prior_fraction > 0.0 ||
+      spec.faults.enabled())
     throw std::invalid_argument(
         "run_speed_test: adversary mix, background model, team, topology, "
-        "periods, schedule, threads, record_outcomes and prior_fraction do "
-        "not apply to the §3.4 archive experiment");
+        "periods, schedule, threads, record_outcomes, prior_fraction and "
+        "faults do not apply to the §3.4 archive experiment");
   const SpeedTestWindow window = spec.speedtest.value_or(SpeedTestWindow{});
   analysis::SpeedTestConfig config;
   config.population = syn->params;

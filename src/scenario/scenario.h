@@ -31,6 +31,7 @@
 #include "analysis/speedtest.h"
 #include "campaign/campaign.h"
 #include "core/params.h"
+#include "fault/fault.h"
 #include "shadowsim/shadow_net.h"
 
 namespace flashflow::scenario {
@@ -170,6 +171,10 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   /// Attach per-second core::SlotOutcomes to streamed SlotResults.
   bool record_outcomes = false;
+  /// Deterministic fault injection (faults.* in scenario files). The
+  /// default (all rates zero) keeps every fault path unentered and every
+  /// output byte identical to a pre-fault build.
+  fault::FaultSpec faults;
   /// Engages the §3.4 archive speed-test experiment (run_speed_test);
   /// slot-based Scenario/Experiment runs reject specs carrying it.
   std::optional<SpeedTestWindow> speedtest;
@@ -221,6 +226,7 @@ class ScenarioBuilder {
   ScenarioBuilder& shard_slots(int shard_slots);
   ScenarioBuilder& seed(std::uint64_t seed);
   ScenarioBuilder& record_outcomes(bool on = true);
+  ScenarioBuilder& faults(fault::FaultSpec faults);
 
   /// Validates and returns the spec; throws std::invalid_argument.
   ScenarioSpec build() const;

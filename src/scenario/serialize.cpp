@@ -330,6 +330,19 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
         << "speedtest.cooldown_days: " << spec.speedtest->cooldown_days
         << "\n";
   }
+  if (spec.faults != fault::FaultSpec{}) {
+    out << "\nfaults.measurer_crash: " << fmt(spec.faults.measurer_crash)
+        << "\n"
+        << "faults.relay_disconnect: " << fmt(spec.faults.relay_disconnect)
+        << "\n"
+        << "faults.report_drop: " << fmt(spec.faults.report_drop) << "\n"
+        << "faults.report_truncate: " << fmt(spec.faults.report_truncate)
+        << "\n"
+        << "faults.slot_timeout: " << fmt(spec.faults.slot_timeout) << "\n"
+        << "faults.max_retries: " << spec.faults.max_retries << "\n"
+        << "faults.min_usable_seconds: " << spec.faults.min_usable_seconds
+        << "\n";
+  }
 
   out << "\nteam.measurers: " << fmt_list(spec.team.measurer_names) << "\n"
       << "team.capacity_bits: " << fmt_list(spec.team.capacity_bits)
@@ -483,6 +496,21 @@ ScenarioSpec parse_scenario(const std::string& text,
     spec.speedtest = window;
   }
 
+  spec.faults.measurer_crash =
+      in.get_double("faults.measurer_crash", spec.faults.measurer_crash);
+  spec.faults.relay_disconnect =
+      in.get_double("faults.relay_disconnect", spec.faults.relay_disconnect);
+  spec.faults.report_drop =
+      in.get_double("faults.report_drop", spec.faults.report_drop);
+  spec.faults.report_truncate =
+      in.get_double("faults.report_truncate", spec.faults.report_truncate);
+  spec.faults.slot_timeout =
+      in.get_double("faults.slot_timeout", spec.faults.slot_timeout);
+  spec.faults.max_retries =
+      in.get_int("faults.max_retries", spec.faults.max_retries);
+  spec.faults.min_usable_seconds =
+      in.get_int("faults.min_usable_seconds", spec.faults.min_usable_seconds);
+
   spec.team.measurer_names = in.get_string_list("team.measurers");
   spec.team.capacity_bits = in.get_double_list("team.capacity_bits");
 
@@ -525,6 +553,24 @@ ScenarioSpec load_scenario_file(const std::string& path) {
   std::ostringstream text;
   text << file.rdbuf();
   return parse_scenario(text.str(), path);
+}
+
+std::vector<FileCheck> check_scenario_files(
+    const std::vector<std::string>& paths) {
+  std::vector<FileCheck> checks;
+  checks.reserve(paths.size());
+  for (const std::string& path : paths) {
+    FileCheck check;
+    check.path = path;
+    try {
+      check.name = load_scenario_file(path).name;
+      check.ok = true;
+    } catch (const std::exception& e) {
+      check.detail = e.what();
+    }
+    checks.push_back(std::move(check));
+  }
+  return checks;
 }
 
 std::string default_scenario_dir() {

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "scenario/scenario.h"
 
@@ -49,6 +50,23 @@ ScenarioSpec parse_scenario(const std::string& text,
 
 /// Reads and parses one scenario file; diagnostics carry the path.
 ScenarioSpec load_scenario_file(const std::string& path);
+
+/// One file's outcome from check_scenario_files.
+struct FileCheck {
+  std::string path;
+  bool ok = false;
+  /// The parsed spec's name when ok.
+  std::string name;
+  /// Empty when ok; otherwise the located diagnostic
+  /// ("<path>:<line>: ..." or "cannot open scenario file: ...").
+  std::string detail;
+};
+
+/// Parses and validates every listed file, never stopping at a failure,
+/// so one run surfaces every broken file's diagnostic (`flashflow
+/// validate a.yaml b.yaml`). Results align with `paths`.
+std::vector<FileCheck> check_scenario_files(
+    const std::vector<std::string>& paths);
 
 /// The checked-in scenario directory (`scenarios/` in the source tree,
 /// baked in at build time), for examples/benches/tests that load their

@@ -1,0 +1,28 @@
+#include "util/out_dir.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace flashflow::util {
+
+namespace fs = std::filesystem;
+
+bool dir_has_entries(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) return false;
+  return fs::directory_iterator(path, ec) != fs::directory_iterator() && !ec;
+}
+
+void require_empty_dir(const std::string& path, bool force) {
+  std::error_code ec;
+  const auto status = fs::status(path, ec);
+  if (ec || !fs::exists(status)) return;  // created fresh by the writer
+  if (!fs::is_directory(status))
+    throw std::invalid_argument("output path '" + path +
+                                "' exists and is not a directory");
+  if (!force && dir_has_entries(path))
+    throw std::invalid_argument("output directory '" + path +
+                                "' is not empty (pass --force to overwrite)");
+}
+
+}  // namespace flashflow::util

@@ -1,0 +1,24 @@
+// Output-directory clobber guard for the CLI result writers.
+//
+// `flashflow run`/`sweep` treat a result directory as a reproducible
+// artifact of its scenario file; silently overwriting one with a new run
+// (possibly degraded, possibly from an edited scenario) would destroy the
+// prior artifact without a trace. The guard makes overwriting an explicit
+// decision: a non-empty target requires --force.
+#pragma once
+
+#include <string>
+
+namespace flashflow::util {
+
+/// True when `path` exists, is a directory, and contains at least one
+/// entry.
+bool dir_has_entries(const std::string& path);
+
+/// Throws std::invalid_argument when `path` is a non-empty directory and
+/// `force` is false ("pass --force to overwrite"), or when `path` exists
+/// but is not a directory at all. A missing or empty directory passes, as
+/// does any directory when `force` is true.
+void require_empty_dir(const std::string& path, bool force);
+
+}  // namespace flashflow::util

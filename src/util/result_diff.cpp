@@ -30,7 +30,7 @@ int int_prefix(std::string_view s) {
 /// as a "slot":N member. -1 when the line has neither (headers,
 /// bandwidth-file lines).
 int slot_of(const std::string& file, std::string_view line) {
-  if (file == "results.csv") {
+  if (file == "results.csv" || file == "faults.csv") {
     std::size_t field = 0;
     std::size_t start = 0;
     while (field < 2) {
@@ -117,8 +117,8 @@ DiffResult diff_result_dirs(const std::string& dir_a,
     if (!fs::is_directory(dir))
       throw std::invalid_argument("not a result directory: " + dir);
 
-  static const std::array<std::string, 3> kArtifacts = {
-      "results.csv", "results.jsonl", "bandwidth.txt"};
+  static const std::array<std::string, 4> kArtifacts = {
+      "results.csv", "results.jsonl", "bandwidth.txt", "faults.csv"};
   DiffResult result;
   for (const auto& file : kArtifacts)
     diff_file(dir_a, dir_b, file, result);

@@ -2,7 +2,8 @@
 //
 // The sweep/determinism workflows used to shell out to `cmp`, which can
 // only say "bytes differ". diff_result_dirs compares the deterministic
-// artifacts a run writes — results.csv, results.jsonl, bandwidth.txt —
+// artifacts a run writes — results.csv, results.jsonl, bandwidth.txt and
+// (for fault-armed scenarios) faults.csv —
 // line by line and reports, per file, the first differing line along
 // with the slot it belongs to, so a broken determinism invariant points
 // at the slot to debug rather than at a byte offset.

@@ -9,8 +9,11 @@
 // useless at 30 lines.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/units.h"
 #include "scenario/scenario.h"
@@ -120,12 +123,38 @@ TEST(ScenarioSerialize, SpeedTestWindowRoundTripsExactly) {
   EXPECT_EQ(back.speedtest->test_duration_hours, 51);
 }
 
-TEST(ScenarioSerialize, DefaultTopologyAndWindowStayOffTheWire) {
+TEST(ScenarioSerialize, FaultsRoundTripExactly) {
+  fault::FaultSpec faults;
+  faults.measurer_crash = 0.031;
+  faults.relay_disconnect = 0.052;
+  faults.report_drop = 0.07;
+  faults.report_truncate = 0.011;
+  faults.slot_timeout = 0.0225;
+  faults.max_retries = 4;
+  faults.min_usable_seconds = 9;
+  ScenarioSpec spec = synthetic_spec();
+  spec.faults = faults;
+  const ScenarioSpec back = parse_scenario(serialize_scenario(spec));
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(back.faults, faults);
+}
+
+TEST(ScenarioSerialize, DefaultTopologyWindowAndFaultsStayOffTheWire) {
   // Specs without the optional sections must serialize without emitting
   // them, so files written before those keys existed stay byte-stable.
   const std::string text = serialize_scenario(synthetic_spec());
   EXPECT_EQ(text.find("topology."), std::string::npos);
   EXPECT_EQ(text.find("speedtest."), std::string::npos);
+  // Line-anchored: the header comment's word "defaults." is not a key.
+  EXPECT_EQ(text.find("\nfaults."), std::string::npos);
+}
+
+TEST(ScenarioSerialize, AbsentFaultsSectionKeepsDefaults) {
+  const ScenarioSpec spec = parse_scenario(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n");
+  EXPECT_EQ(spec.faults, fault::FaultSpec{});
+  EXPECT_FALSE(spec.faults.enabled());
 }
 
 TEST(ScenarioSerialize, QuotedNameSurvivesRoundTrip) {
@@ -315,6 +344,26 @@ TEST(ScenarioSerialize, SpeedTestWindowRequiresSyntheticAndPositiveTest) {
       {"positive test duration"});
 }
 
+TEST(ScenarioSerialize, MalformedFaultValuesNameKeyAndLine) {
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "faults.slot_timeout: often\n",
+      {"test.yaml:3", "key 'faults.slot_timeout'", "often"});
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "faults.max_retries: 1.5\n",
+      {"test.yaml:3", "key 'faults.max_retries'", "1.5"});
+  // Syntactically valid, semantically out of range: FaultSpec::validate
+  // fires through spec validation.
+  expect_parse_error(
+      "population: table1\n"
+      "table1.rate_limits_mbit: [250]\n"
+      "faults.report_drop: 1.7\n",
+      {"report_drop must be in [0, 1]"});
+}
+
 TEST(ScenarioSerialize, LineWithoutColonRejected) {
   expect_parse_error("just some text\n", {"test.yaml:1", "key: value"});
 }
@@ -342,11 +391,64 @@ TEST(ScenarioSerialize, LoadFileReportsUnopenablePath) {
 TEST(ScenarioSerialize, CheckedInScenariosAllParse) {
   // The files the examples, benches and CI smoke job rely on.
   for (const char* name : {"quickstart", "measure_network", "fig05", "fig07",
-                           "sec7", "golden_smoke"}) {
+                           "sec7", "golden_smoke", "fault_smoke"}) {
     const std::string path =
         default_scenario_dir() + "/" + name + ".yaml";
     EXPECT_NO_THROW(load_scenario_file(path)) << path;
   }
+}
+
+// ------------------------------------------------- check_scenario_files ---
+
+TEST(ScenarioSerialize, CheckScenarioFilesReportsEveryFile) {
+  // `flashflow validate` must not stop at the first bad file: every path
+  // gets its own verdict, bad ones carrying the full diagnostic.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ff_check_scenarios_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto write = [&](const char* name, const std::string& text) {
+    std::ofstream(dir / name) << text;
+    return (dir / name).string();
+  };
+  const std::string good = write("good.yaml",
+                                 "name: good-one\n"
+                                 "population: table1\n"
+                                 "table1.rate_limits_mbit: [250]\n");
+  const std::string bad_key = write("bad_key.yaml",
+                                    "population: table1\n"
+                                    "table1.rate_limits_mbit: [250]\n"
+                                    "bogus_key: 1\n");
+  const std::string bad_fault = write("bad_fault.yaml",
+                                      "population: table1\n"
+                                      "table1.rate_limits_mbit: [250]\n"
+                                      "faults.slot_timeout: 2\n");
+
+  const auto checks = check_scenario_files({good, bad_key, bad_fault});
+  ASSERT_EQ(checks.size(), 3u);
+
+  EXPECT_TRUE(checks[0].ok);
+  EXPECT_EQ(checks[0].path, good);
+  EXPECT_EQ(checks[0].name, "good-one");
+
+  EXPECT_FALSE(checks[1].ok);
+  EXPECT_NE(checks[1].detail.find("bogus_key"), std::string::npos);
+  EXPECT_NE(checks[1].detail.find(":3"), std::string::npos);
+
+  EXPECT_FALSE(checks[2].ok);
+  EXPECT_NE(checks[2].detail.find("slot_timeout"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioSerialize, CheckScenarioFilesHandlesMissingFile) {
+  const auto checks = check_scenario_files({"/nonexistent/nope.yaml"});
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks[0].ok);
+  EXPECT_NE(checks[0].detail.find("/nonexistent/nope.yaml"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// Output-directory guard (util/out_dir.h): `flashflow run`/`sweep` refuse
+// to write into a non-empty directory unless --force is passed, so a slow
+// sweep cannot silently clobber last week's results.
+#include "util/out_dir.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace flashflow::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OutDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ff_out_dir_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(OutDirTest, MissingDirectoryPasses) {
+  EXPECT_FALSE(dir_has_entries(dir_.string()));
+  EXPECT_NO_THROW(require_empty_dir(dir_.string(), /*force=*/false));
+}
+
+TEST_F(OutDirTest, EmptyDirectoryPasses) {
+  fs::create_directories(dir_);
+  EXPECT_FALSE(dir_has_entries(dir_.string()));
+  EXPECT_NO_THROW(require_empty_dir(dir_.string(), /*force=*/false));
+}
+
+TEST_F(OutDirTest, NonEmptyDirectoryThrowsWithoutForce) {
+  fs::create_directories(dir_);
+  std::ofstream(dir_ / "results.csv") << "period,relay,slot\n";
+  EXPECT_TRUE(dir_has_entries(dir_.string()));
+  try {
+    require_empty_dir(dir_.string(), /*force=*/false);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // The message names the directory and the way out.
+    EXPECT_NE(what.find(dir_.string()), std::string::npos);
+    EXPECT_NE(what.find("--force"), std::string::npos);
+  }
+}
+
+TEST_F(OutDirTest, ForceOverridesNonEmptyDirectory) {
+  fs::create_directories(dir_);
+  std::ofstream(dir_ / "results.csv") << "stale\n";
+  EXPECT_NO_THROW(require_empty_dir(dir_.string(), /*force=*/true));
+}
+
+TEST_F(OutDirTest, PathThatIsAFileThrowsEvenWithForce) {
+  std::ofstream(dir_) << "not a directory\n";
+  EXPECT_THROW(require_empty_dir(dir_.string(), /*force=*/false),
+               std::invalid_argument);
+  EXPECT_THROW(require_empty_dir(dir_.string(), /*force=*/true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flashflow::util

@@ -44,6 +44,7 @@
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
+#include "util/out_dir.h"
 #include "util/result_diff.h"
 #include "util/strict_parse.h"
 
@@ -55,17 +56,22 @@ namespace {
 int usage(std::ostream& out, int exit_code) {
   out << "usage: flashflow <command> [args]\n"
          "\n"
-         "  run <scenario> --out DIR [--threads N] [--seed N] [--quiet]\n"
+         "  run <scenario> --out DIR [--threads N] [--seed N] [--force]\n"
+         "      [--quiet]\n"
          "      Run the scenario's periods; write scenario.yaml,\n"
-         "      results.csv, results.jsonl and bandwidth.txt into DIR.\n"
+         "      results.csv, results.jsonl, bandwidth.txt and (with\n"
+         "      faults.* enabled) faults.csv into DIR. A non-empty DIR is\n"
+         "      refused unless --force is passed.\n"
          "  plan <scenario>\n"
          "      Schedule-only dry run (no topology): slots, simulated\n"
          "      time, team requirement.\n"
          "  validate <scenario> [<scenario> ...]\n"
-         "      Parse + validate each file; exit 1 on the first error.\n"
+         "      Parse + validate every file, reporting all diagnostics;\n"
+         "      exit 1 if any file is invalid.\n"
          "  sweep <scenario> --out DIR [--seeds LIST] [--liars LIST]\n"
          "        [--forgers LIST] [--team-sizes LIST] [--jobs N] "
-         "[--quiet]\n"
+         "[--force]\n"
+         "        [--quiet]\n"
          "      Fan the scenario over the grid of the given axes; one\n"
          "      result directory per cell under DIR.\n"
          "  diff <dirA> <dirB>\n"
@@ -230,6 +236,17 @@ scenario::Experiment::Result run_into_dir(const scenario::ScenarioSpec& spec,
   fanout.attach(&csv);
   fanout.attach(&jsonl);
 
+  // The fault ledger exists only for fault-armed scenarios, so fault-free
+  // result directories keep their exact pre-fault file set.
+  std::ofstream faults_out;
+  std::optional<campaign::FaultLedgerSink> faults;
+  if (spec.faults.enabled()) {
+    faults_out.open(dir / "faults.csv");
+    if (!faults_out) die("cannot write " + (dir / "faults.csv").string());
+    faults.emplace(faults_out);
+    fanout.attach(&*faults);
+  }
+
   scenario::Experiment experiment(spec);
   const auto result = experiment.run(
       &fanout, [&](const scenario::Experiment::PeriodRecord& record,
@@ -262,8 +279,10 @@ int cmd_run(Flags& flags) {
   if (!out) die("run needs --out DIR");
   const auto threads = flags.take("threads");
   const auto seed = flags.take("seed");
+  const bool force = flags.take_switch("force");
   const bool quiet = flags.take_switch("quiet");
   flags.reject_leftovers();
+  util::require_empty_dir(*out, force);
 
   scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
   if (threads)
@@ -310,13 +329,14 @@ int cmd_validate(Flags& flags) {
   flags.reject_leftovers();
   if (paths.empty()) die("validate needs at least one scenario file");
 
+  // Every file is checked regardless of earlier failures: one run
+  // surfaces every diagnostic, and the exit code says whether any failed.
   int failures = 0;
-  for (const auto& path : paths) {
-    try {
-      const auto spec = scenario::load_scenario_file(path);
-      std::cout << path << ": ok (scenario '" << spec.name << "')\n";
-    } catch (const std::exception& e) {
-      std::cerr << path << ": " << e.what() << "\n";
+  for (const auto& check : scenario::check_scenario_files(paths)) {
+    if (check.ok) {
+      std::cout << check.path << ": ok (scenario '" << check.name << "')\n";
+    } else {
+      std::cerr << check.detail << "\n";
       ++failures;
     }
   }
@@ -340,8 +360,10 @@ int cmd_sweep(Flags& flags) {
   const auto forgers_arg = flags.take("forgers");
   const auto teams_arg = flags.take("team-sizes");
   const auto jobs_arg = flags.take("jobs");
+  const bool force = flags.take_switch("force");
   const bool quiet = flags.take_switch("quiet");
   flags.reject_leftovers();
+  util::require_empty_dir(*out, force);
 
   const scenario::ScenarioSpec base = scenario::load_scenario_file(path);
   const int jobs =
