@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -43,9 +42,13 @@ double CampaignRunner::team_capacity_bits() const {
 
 RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
                              SlotSink& sink) const {
-  // FFCHECK(ND03): timing-only read; feeds RunStats::wall_seconds, which
-  // lives outside CampaignResult and is excluded from the golden hashes.
-  const auto wall_start = std::chrono::steady_clock::now();
+  // All wall-clock reads go through the Clock seam (telemetry/clock.cpp
+  // holds the library's single suppressed ND03 site); a recorder's clock
+  // lets tests drive run timing deterministically.
+  telemetry::Recorder* const rec = config_.telemetry;
+  const telemetry::Clock& wall_clock =
+      rec ? rec->time_source() : telemetry::monotonic_clock();
+  const std::uint64_t wall_start = wall_clock.now_micros();
   const core::Params& params = config_.params;
 
   // Scheduling priors: explicit z0, or the oracle prior.
@@ -60,7 +63,10 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     priors.push_back(prior);
   }
 
-  // Period layout: relay -> slot.
+  // Period layout: relay -> slot. Timed into a local: the recorder's
+  // shards are sized at begin_run(), which needs the lane count computed
+  // further down, so the observation is deferred until then.
+  const std::uint64_t layout_start = rec ? rec->now() : 0;
   RunStats stats;
   const double team_capacity = team_capacity_bits();
   std::vector<int> relay_slot;
@@ -89,6 +95,7 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
 
   stats.simulated_seconds =
       static_cast<double>(last_slot + 1) * params.slot_seconds;
+  const std::uint64_t layout_micros = rec ? rec->now() - layout_start : 0;
 
   // Deterministic fault oracle for this period. With all rates zero the
   // plan is inert, no fault path below is entered, and the run is
@@ -163,8 +170,15 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     std::vector<double> residual;
     std::vector<core::SlotRunner::ConcurrentTarget> targets;
     std::vector<int> target_sockets;
+    telemetry::SlotProbe probe;
   };
   std::vector<WorkerScratch> scratch(lane_count);
+  if (rec) {
+    rec->begin_run(lane_count);
+    rec->observe_stage(telemetry::Stage::kLayout, layout_micros);
+    for (std::size_t l = 0; l < lane_count; ++l)
+      scratch[l].probe.arm(rec->time_source(), rec->lane(l), rec->engine());
+  }
 
   // Per-work-item failure lists for the current round: written lock-free
   // by whichever worker ran the item, read only after the round's
@@ -173,6 +187,12 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
 
   const auto run_slot = [&](std::size_t lane, std::size_t w,
                             SlotReorderBuffer& reorder) {
+    WorkerScratch& ws = scratch[lane];
+    // Null when telemetry is off: every site below is skipped and the
+    // slot executes the exact pre-telemetry instruction stream.
+    telemetry::SlotProbe* const probe = ws.probe.armed() ? &ws.probe : nullptr;
+    const std::uint64_t slot_start = probe ? probe->now() : 0;
+    if (probe) probe->begin_slot();
     const std::size_t slot = work[w].slot;
     const std::uint64_t sub_seed =
         slot_domain ^ static_cast<std::uint64_t>(slot);
@@ -181,7 +201,7 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     // Retry slots are fresh slot indices, so a retried relay gets fresh
     // fault draws rather than deterministically failing the same way.
     runner.arm_faults(&fault_plan, static_cast<std::uint64_t>(slot));
-    WorkerScratch& ws = scratch[lane];
+    runner.set_probe(probe);
 
     // §4.2 allocation: each relay in the slot claims f * z0 from the
     // measurers' remaining capacity, largest-residual first.
@@ -216,6 +236,8 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
       }
       ws.target_sockets[t] = sockets;
     }
+    // Dispatch = §4.2 allocation + target build, everything up to here.
+    if (probe) probe->timing().dispatch_micros = probe->now() - slot_start;
 
     auto outcomes = runner.run_concurrent(
         std::span<const core::SlotRunner::ConcurrentTarget>(
@@ -248,10 +270,28 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     }
     if (config_.record_outcomes) result.outcomes = std::move(outcomes);
 
+    // The trace snapshot is taken before park(): reorder wait is not a
+    // property of the slot's own work and is observed into the stage
+    // histogram only.
+    if (probe && rec->trace_enabled()) {
+      telemetry::SlotTrace trace;
+      trace.lane = static_cast<int>(lane);
+      trace.shard = static_cast<int>(w / shard);
+      trace.segments = probe->segments();
+      trace.timing = probe->timing();
+      result.trace = trace;
+      probe->shard().add(probe->metrics().trace_rows);
+    }
+
     // Park the result; the buffer blocks while w is beyond the bounded
     // window, flushes the ready prefix in slot order, and propagates any
     // sink exception.
+    const std::uint64_t park_start = probe ? probe->now() : 0;
     reorder.park(w, std::move(result));
+    if (probe) {
+      probe->timing().reorder_micros = probe->now() - park_start;
+      probe->finish_slot(n_targets);
+    }
   };
 
   // Retry placement bookkeeping, engaged only after a round reports
@@ -261,6 +301,9 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   std::vector<double> retry_load;
 
   while (true) {
+    const bool retry_round = round > 0;
+    const std::uint64_t round_start = rec && retry_round ? rec->now() : 0;
+    if (rec && retry_round) rec->serial().add(rec->engine().retry_rounds);
     failed_of.assign(work.size(), {});
 
     // Delivery: slots complete in any order on the pool, but the sink
@@ -271,7 +314,13 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     // park() into parallel_for's rethrow; a false return from on_progress
     // cancels the remaining slots (and any further retry round).
     SlotReorderBuffer reorder(work.size(), window, [&](SlotResult&& ready) {
+      // Deliveries are serialized under the buffer lock, so the serial
+      // shard is safe to write here.
+      const std::uint64_t sink_start = rec ? rec->now() : 0;
       sink.slot_done(ready);
+      if (rec)
+        rec->observe_stage(telemetry::Stage::kSinkSerialize,
+                           rec->now() - sink_start);
       ++delivered_count;
       if (!sink.on_progress(delivered_count, scheduled_total)) {
         cancelled.store(true);
@@ -304,7 +353,10 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
     // them) count as skipped alongside the never-claimed ones.
     const int round_delivered = static_cast<int>(reorder.delivered());
     stats.slots_executed += round_delivered;
-    if (round > 0) stats.slots_retried += round_delivered;
+    if (retry_round) stats.slots_retried += round_delivered;
+    if (rec && retry_round)
+      rec->observe_stage(telemetry::Stage::kRetryRound,
+                         rec->now() - round_start);
     if (cancelled.load()) break;
 
     // Collect the round's failures in deterministic (work, member) order.
@@ -379,12 +431,11 @@ RunStats CampaignRunner::run(std::span<const CampaignRelay> relays,
   stats.simulated_seconds =
       std::max(stats.simulated_seconds,
                static_cast<double>(period_end) * params.slot_seconds);
+  // Merge the lane shards (lane-index order, then the serial shard) into
+  // the recorder's accumulated totals now that the pool has drained.
+  if (rec) rec->end_run();
   stats.wall_seconds =
-      // FFCHECK(ND03): timing-only read; wall_seconds is reporting-only
-      // and never feeds estimates, sinks, or the golden hashes.
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+      static_cast<double>(wall_clock.now_micros() - wall_start) * 1e-6;
   return stats;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "core/params.h"
 #include "fault/fault.h"
 #include "net/topology.h"
+#include "telemetry/telemetry.h"
 #include "tor/relay.h"
 
 namespace flashflow::campaign {
@@ -77,6 +79,13 @@ struct CampaignConfig {
   /// All-zero rates (the default) keep every fault path unentered: the
   /// run is byte-identical to a build without the fault layer.
   fault::FaultSpec faults;
+  /// Optional telemetry session (borrowed; must outlive the run). Null —
+  /// the default — skips every instrumentation site: no clock reads
+  /// beyond the two RunStats::wall_seconds endpoints, no shard writes,
+  /// and byte-identical results either way (the golden suite pins both).
+  /// With Recorder::enable_trace() each streamed SlotResult additionally
+  /// carries a telemetry::SlotTrace.
+  telemetry::Recorder* telemetry = nullptr;
 };
 
 /// Per-relay campaign outcome, aligned with the input population.
@@ -169,6 +178,10 @@ struct SlotResult {
   /// Full per-second slot outcomes aligned with `relay_indices`; filled
   /// only when CampaignConfig::record_outcomes is set.
   std::vector<core::SlotOutcome> outcomes;
+  /// Per-slot execution trace; present only when the run's telemetry
+  /// recorder has tracing enabled. Timing/lane/shard fields are
+  /// wall-clock- and thread-dependent; everything else is deterministic.
+  std::optional<telemetry::SlotTrace> trace;
 };
 
 /// Execution timing and progress counters for one streamed run. This is

@@ -246,6 +246,7 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   // capacity across slots.
   ws.member_hosts_.resize(n_members);
   ws.path_chars_.resize(n_members);
+  const std::uint64_t fill_start = probe_ ? probe_->now() : 0;
   for (std::size_t t = 0; t < n_targets; ++t) {
     for (std::size_t i = 0; i < targets[t].team.size(); ++i)
       ws.member_hosts_[ws.team_offset_[t] + i] = targets[t].team[i].host;
@@ -254,6 +255,7 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     topo_.fill_paths(targets[t].host, {ws.member_hosts_.data() + lo, len},
                      {ws.path_chars_.data() + lo, len});
   }
+  if (probe_) probe_->note_fill_paths(probe_->now() - fill_start, n_targets);
   std::size_t n_flows = 0;
   for (std::size_t t = 0; t < n_targets; ++t) {
     const std::size_t target_res = host_resource(targets[t].host);
@@ -289,7 +291,11 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   }
   // The flow set is a slot invariant: prepare it once so every per-second
   // solve skips validation, flattening and the initial weight sums.
+  const std::uint64_t prep_start = probe_ ? probe_->now() : 0;
   ws.solver_.prepare({ws.flows_.data(), n_flows}, ws.resources_.size());
+  if (probe_)
+    probe_->note_prepare(probe_->now() - prep_start,
+                         ws.solver_.prepared_active_flows());
 
   ws.relay_capacity_.resize(n_targets);
   ws.x_t_.resize(n_targets);
@@ -304,17 +310,26 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
   // path has exactly one segment [0, t): the per-second loop below then
   // runs the exact pre-fault code path, byte for byte.
   const std::size_t n_segments = ws.segment_bounds_.size() - 1;
+  if (probe_) probe_->note_segments(static_cast<int>(n_segments));
   for (std::size_t seg = 0; seg < n_segments; ++seg) {
     const int seg_begin = ws.segment_bounds_[seg];
     const int seg_end = ws.segment_bounds_[seg + 1];
     if (seg > 0) {
+      const std::uint64_t reprep_start = probe_ ? probe_->now() : 0;
       for (std::size_t k = 0; k < n_flows; ++k) {
         const auto [ft, fi] = ws.flow_ids_[k];
         if (ws.member_crash_[ws.team_offset_[ft] + fi] <= seg_begin)
           ws.flows_[k].cap = 0.0;
       }
       ws.solver_.prepare({ws.flows_.data(), n_flows}, ws.resources_.size());
+      if (probe_)
+        probe_->note_prepare(probe_->now() - reprep_start,
+                             ws.solver_.prepared_active_flows());
     }
+    // The segment's solve window brackets the FF_HOT region: clock reads
+    // stay outside it, and the solve-seconds counter adds the whole range
+    // in one step rather than incrementing per iteration.
+    const std::uint64_t solve_start = probe_ ? probe_->now() : 0;
 
   // FF_HOT_BEGIN: per-second slot loop — ffcheck rejects allocation-shaped
   // calls until the matching FF_HOT_END (see src/lint/rules.h).
@@ -406,6 +421,9 @@ std::vector<SlotOutcome> SlotRunner::run_concurrent(
     }
   }
   // FF_HOT_END: per-second slot loop
+    if (probe_)
+      probe_->note_solve(probe_->now() - solve_start,
+                         static_cast<std::uint64_t>(seg_end - seg_begin));
   }
 
   if (have_faults) {

@@ -24,6 +24,7 @@
 #include "net/fairshare.h"
 #include "net/topology.h"
 #include "sim/random.h"
+#include "telemetry/telemetry.h"
 #include "tor/relay.h"
 
 namespace flashflow::core {
@@ -218,6 +219,12 @@ class SlotRunner {
     fault_slot_ = slot;
   }
 
+  /// Attaches a telemetry probe for subsequent run_concurrent calls
+  /// (borrowed; null — the default — skips every instrumentation site).
+  /// Timing is observed only outside the FF_HOT per-second loop, and none
+  /// of it feeds the outcomes: results are byte-identical either way.
+  void set_probe(telemetry::SlotProbe* probe) { probe_ = probe; }
+
  private:
   /// Degraded BWAuth aggregation over the recorded per-second series:
   /// estimates from the surviving (reported, still-alive) allocation
@@ -232,6 +239,7 @@ class SlotRunner {
   SlotWorkspace scratch_;  // backs the workspace-less run_concurrent
   const fault::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t fault_slot_ = 0;
+  telemetry::SlotProbe* probe_ = nullptr;
 };
 
 }  // namespace flashflow::core

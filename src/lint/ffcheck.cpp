@@ -76,7 +76,7 @@ void parse_suppressions(const Comment& comment,
   if (reason.empty()) {
     diags.push_back({comment.line, "FF02",
                      "FFCHECK suppression needs a written justification "
-                     "after the ':'"});
+                     "after the ':' (see docs/determinism.md)"});
     return;
   }
   if (!ok) return;  // unknown rules already reported

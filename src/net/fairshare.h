@@ -69,6 +69,11 @@ class FairShareSolver {
   std::span<const double> solve_prepared(
       std::span<const FairShareResource> resources);
 
+  /// Flows still competing after the last prepare() (zero-cap flows are
+  /// folded away at prepare time). Telemetry reads this for the
+  /// solver/active_flows gauge; 0 before the first prepare.
+  std::size_t prepared_active_flows() const { return active_init_.size(); }
+
  private:
   std::vector<double> rates_;
   std::vector<double> weights_;  // SoA copies of the flow weight/cap

@@ -73,6 +73,7 @@ Experiment::Result Experiment::run(campaign::SlotSink* sink,
     config.seed = period_seed(spec_, period);
     config.record_outcomes = spec_.record_outcomes;
     config.faults = spec_.faults;
+    config.telemetry = telemetry_;
     const campaign::CampaignRunner runner(materialized_.topology,
                                           std::move(config));
 

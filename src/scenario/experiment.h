@@ -86,10 +86,16 @@ class Experiment {
     return measurer_caps_;
   }
 
+  /// Attaches a telemetry recorder (borrowed; must outlive run()). Every
+  /// period's campaign shares it: the recorder's shards accumulate across
+  /// periods. Null (the default) keeps every instrumentation site skipped.
+  void set_telemetry(telemetry::Recorder* recorder) { telemetry_ = recorder; }
+
  private:
   ScenarioSpec spec_;
   MaterializedScenario materialized_;
   std::vector<double> measurer_caps_;
+  telemetry::Recorder* telemetry_ = nullptr;
 };
 
 }  // namespace flashflow::scenario

@@ -433,6 +433,7 @@ const campaign::CampaignRunner& Scenario::runner() const {
     config.seed = period_seed(spec_, 0);
     config.record_outcomes = spec_.record_outcomes;
     config.faults = spec_.faults;
+    config.telemetry = telemetry_;
     runner_ = std::make_unique<campaign::CampaignRunner>(mat.topology,
                                                          std::move(config));
   }

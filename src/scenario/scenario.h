@@ -290,6 +290,12 @@ class Scenario {
   const MaterializedScenario& materialized() const;
   const campaign::CampaignRunner& runner() const;
 
+  /// Attaches a telemetry recorder (borrowed; must outlive every run).
+  /// Call before the first run()/runner() — the campaign config is built
+  /// lazily and snapshots the pointer. Null (the default) keeps every
+  /// instrumentation site skipped.
+  void set_telemetry(telemetry::Recorder* recorder) { telemetry_ = recorder; }
+
   /// The scheduling priors z0 this scenario starts from, aligned with the
   /// population (what plan() packs and period 0 allocates by). Computed
   /// once, without materializing a topology.
@@ -300,6 +306,7 @@ class Scenario {
   mutable std::unique_ptr<MaterializedScenario> materialized_;
   mutable std::unique_ptr<campaign::CampaignRunner> runner_;
   mutable std::unique_ptr<std::vector<double>> priors_;
+  telemetry::Recorder* telemetry_ = nullptr;
 };
 
 /// Materializes a spec into topology + population (exposed for callers

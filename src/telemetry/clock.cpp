@@ -1,0 +1,32 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+namespace flashflow::telemetry {
+
+namespace {
+
+/// The library's single wall-clock read. Everything that needs time —
+/// RunStats::wall_seconds, stage timers, trace micros — goes through the
+/// Clock seam and ends up here, so ffcheck's ND03 rule has exactly one
+/// justified suppression to audit (docs/determinism.md, clause T1).
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t now_micros() const override {
+    // FFCHECK(ND03): the Clock seam's only wall-clock read. Timing flows
+    // into telemetry (RunStats, stage histograms, trace files) and never
+    // into estimates, result streams, or the golden hashes.
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  }
+};
+
+}  // namespace
+
+const Clock& monotonic_clock() {
+  static const MonotonicClock clock;
+  return clock;
+}
+
+}  // namespace flashflow::telemetry

@@ -1,0 +1,89 @@
+#include "telemetry/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace flashflow::telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader starts the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Raw syscall: glibc has no wrapper. Counting the calling process on
+  // any CPU; flags 0.
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+bool read_value(int fd, std::uint64_t& value) {
+  return fd >= 0 &&
+         ::read(fd, &value, sizeof value) ==
+             static_cast<ssize_t>(sizeof value);
+}
+
+}  // namespace
+
+PerfSampler::PerfSampler() {
+  group_fd_ = open_counter(PERF_TYPE_HARDWARE,
+                           PERF_COUNT_HW_INSTRUCTIONS, /*group_fd=*/-1);
+  if (group_fd_ < 0) return;  // denied or unsupported: stay inert
+  // The secondary counters are optional: a PMU with no cache-miss event
+  // still yields instructions/cycles, and read() reports 0 for the rest.
+  cycles_fd_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, group_fd_);
+  cache_fd_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, group_fd_);
+}
+
+PerfSampler::~PerfSampler() {
+  if (cache_fd_ >= 0) ::close(cache_fd_);
+  if (cycles_fd_ >= 0) ::close(cycles_fd_);
+  if (group_fd_ >= 0) ::close(group_fd_);
+}
+
+void PerfSampler::start() {
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfSampler::stop() {
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSampler::Sample PerfSampler::read() const {
+  Sample sample;
+  if (!read_value(group_fd_, sample.instructions)) return sample;
+  read_value(cycles_fd_, sample.cycles);
+  read_value(cache_fd_, sample.cache_misses);
+  sample.valid = true;
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfSampler::PerfSampler() = default;
+PerfSampler::~PerfSampler() = default;
+void PerfSampler::start() {}
+void PerfSampler::stop() {}
+PerfSampler::Sample PerfSampler::read() const { return {}; }
+
+#endif
+
+}  // namespace flashflow::telemetry

@@ -1,0 +1,193 @@
+// flashflow CLI usage-drift audit.
+//
+// The --help text and the argument parsers live in the same file but
+// drift independently (PR 10 found `diff --quiet` parsed but
+// undocumented). This suite pins them together from both directions
+// using one flag table as the source of truth:
+//
+//   - every flag in the table appears in --help (documented),
+//   - every `--flag` token printed by --help is in the table (no
+//     documented-but-fictional flags),
+//   - every value flag in the table is *recognized* by its subcommand:
+//     invoked without a value it must die with "needs a value" — an
+//     unknown flag dies with "unknown argument" instead — and every
+//     switch must be consumed without an "unknown argument" complaint.
+//
+// Spawns the real binary (FLASHFLOW_CLI_BIN from CMake) via popen; no
+// test touches the filesystem, so every invocation fails fast before
+// any scenario is loaded or directory created.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(FLASHFLOW_CLI_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+    result.output.append(buffer.data(), n);
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+struct SubcommandFlags {
+  const char* name;
+  std::vector<const char*> value_flags;  // --flag VALUE
+  std::vector<const char*> switches;     // bare --flag
+};
+
+/// The source of truth both directions are checked against. A new CLI
+/// flag must be added here (and to the usage text) or this suite fails.
+const std::vector<SubcommandFlags>& cli_flags() {
+  static const std::vector<SubcommandFlags> table = {
+      {"run",
+       {"--out", "--threads", "--seed", "--trace", "--metrics"},
+       {"--force", "--quiet"}},
+      {"plan", {}, {}},
+      {"validate", {}, {}},
+      {"sweep",
+       {"--out", "--seeds", "--liars", "--forgers", "--team-sizes",
+        "--jobs"},
+       {"--force", "--quiet"}},
+      {"diff", {}, {"--quiet"}},
+  };
+  return table;
+}
+
+TEST(CliUsage, HelpExitsZeroAndDocumentsEveryFlag) {
+  const RunResult help = run_cli("--help");
+  EXPECT_EQ(help.exit_code, 0);
+  for (const SubcommandFlags& sub : cli_flags()) {
+    EXPECT_NE(help.output.find(sub.name), std::string::npos)
+        << "subcommand '" << sub.name << "' missing from --help";
+    for (const char* flag : sub.value_flags)
+      EXPECT_NE(help.output.find(flag), std::string::npos)
+          << sub.name << " flag " << flag << " undocumented in --help";
+    for (const char* flag : sub.switches)
+      EXPECT_NE(help.output.find(flag), std::string::npos)
+          << sub.name << " switch " << flag << " undocumented in --help";
+  }
+}
+
+TEST(CliUsage, EveryDocumentedFlagIsKnown) {
+  // The inverse direction: --help must not advertise flags the parsers
+  // don't implement. Collect every --token from the usage text and
+  // check it against the table.
+  std::set<std::string> known = {"--help"};
+  for (const SubcommandFlags& sub : cli_flags()) {
+    for (const char* flag : sub.value_flags) known.insert(flag);
+    for (const char* flag : sub.switches) known.insert(flag);
+  }
+
+  const RunResult help = run_cli("--help");
+  const std::string& text = help.output;
+  for (std::size_t pos = text.find("--"); pos != std::string::npos;
+       pos = text.find("--", pos + 1)) {
+    std::size_t end = pos + 2;
+    while (end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '-'))
+      ++end;
+    const std::string flag = text.substr(pos, end - pos);
+    if (flag == "--") continue;  // prose dashes
+    EXPECT_TRUE(known.count(flag) > 0)
+        << "--help documents " << flag
+        << " but tests/test_cli_usage.cpp does not know it — either the "
+           "usage text is stale or the flag table needs updating";
+  }
+}
+
+TEST(CliUsage, NoArgumentsPrintsUsageAndExitsTwo) {
+  const RunResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage: flashflow"), std::string::npos);
+}
+
+TEST(CliUsage, UnknownCommandExitsTwo) {
+  const RunResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliUsage, UnknownFlagsAreRejectedPerSubcommand) {
+  // reject_leftovers() runs before any file or directory is touched, so
+  // these invocations fail fast with "unknown argument".
+  const std::vector<std::string> invocations = {
+      "run scenario.yaml --out out --bogus",
+      "plan scenario.yaml --bogus",
+      "validate scenario.yaml --bogus",
+      "sweep scenario.yaml --out out --bogus",
+      "diff a b --bogus",
+  };
+  for (const std::string& invocation : invocations) {
+    const RunResult result = run_cli(invocation);
+    EXPECT_EQ(result.exit_code, 2) << invocation;
+    EXPECT_NE(result.output.find("unknown argument '--bogus'"),
+              std::string::npos)
+        << invocation << " produced: " << result.output;
+  }
+}
+
+TEST(CliUsage, EveryTableValueFlagIsRecognized) {
+  // A recognized value flag with no value dies "needs a value"; an
+  // unrecognized one would fall through to "unknown argument". One
+  // death per (subcommand, flag) pair.
+  for (const SubcommandFlags& sub : cli_flags()) {
+    for (const char* flag : sub.value_flags) {
+      // --out parses before the other flags and its absence is fatal, so
+      // the probes for later flags carry a well-formed --out.
+      const std::string prefix =
+          std::string(flag) == "--out" ? " scenario.yaml "
+                                       : " scenario.yaml --out outdir ";
+      const RunResult result = run_cli(sub.name + prefix + flag);
+      SCOPED_TRACE(std::string(sub.name) + " " + flag);
+      EXPECT_EQ(result.exit_code, 2);
+      EXPECT_NE(result.output.find(std::string(flag) + " needs a value"),
+                std::string::npos)
+          << "parser did not recognize " << flag << ": " << result.output;
+    }
+  }
+}
+
+TEST(CliUsage, EveryTableSwitchIsConsumed) {
+  // Switches have no value to omit, so recognition is proven by the
+  // *absence* of an "unknown argument" complaint: the invocation still
+  // fails (missing/unreadable inputs) but for a reason past argument
+  // parsing.
+  const std::vector<std::string> invocations = {
+      "run missing-scenario.yaml --out out --force --quiet",
+      "sweep missing-scenario.yaml --out out --force --quiet",
+      "diff missing-dir-a missing-dir-b --quiet",
+  };
+  for (const std::string& invocation : invocations) {
+    const RunResult result = run_cli(invocation);
+    SCOPED_TRACE(invocation);
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_EQ(result.output.find("unknown argument"), std::string::npos)
+        << "a documented switch was not consumed: " << result.output;
+  }
+}
+
+}  // namespace

@@ -44,6 +44,8 @@
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "scenario/serialize.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/out_dir.h"
 #include "util/result_diff.h"
 #include "util/strict_parse.h"
@@ -57,11 +59,15 @@ int usage(std::ostream& out, int exit_code) {
   out << "usage: flashflow <command> [args]\n"
          "\n"
          "  run <scenario> --out DIR [--threads N] [--seed N] [--force]\n"
-         "      [--quiet]\n"
+         "      [--quiet] [--trace DIR] [--metrics FILE]\n"
          "      Run the scenario's periods; write scenario.yaml,\n"
          "      results.csv, results.jsonl, bandwidth.txt and (with\n"
          "      faults.* enabled) faults.csv into DIR. A non-empty DIR is\n"
-         "      refused unless --force is passed.\n"
+         "      refused unless --force is passed. --trace writes a per-\n"
+         "      slot execution trace (trace.jsonl) into its own DIR;\n"
+         "      --metrics writes the run's engine telemetry (counters,\n"
+         "      gauges, stage histograms) as JSON to FILE. Neither\n"
+         "      changes a byte of the result files.\n"
          "  plan <scenario>\n"
          "      Schedule-only dry run (no topology): slots, simulated\n"
          "      time, team requirement.\n"
@@ -74,10 +80,11 @@ int usage(std::ostream& out, int exit_code) {
          "        [--quiet]\n"
          "      Fan the scenario over the grid of the given axes; one\n"
          "      result directory per cell under DIR.\n"
-         "  diff <dirA> <dirB>\n"
+         "  diff <dirA> <dirB> [--quiet]\n"
          "      Compare two result directories (results.csv,\n"
          "      results.jsonl, bandwidth.txt); report the first differing\n"
-         "      slot per file and exit 1 when they differ.\n"
+         "      slot per file and exit 1 when they differ. --quiet\n"
+         "      suppresses the identical-directories message.\n"
          "\n"
          "Scenario files: flat YAML subset, one 'key: value' per line —\n"
          "see scenarios/ and README \"Scenario files & CLI\".\n";
@@ -214,8 +221,10 @@ class FanoutSink : public campaign::SlotSink {
 /// Runs one scenario into `dir` (created if needed): normalized
 /// scenario.yaml, streamed results.csv/results.jsonl, final-period
 /// bandwidth.txt. Returns the experiment result for reporting.
-scenario::Experiment::Result run_into_dir(const scenario::ScenarioSpec& spec,
-                                          const fs::path& dir, bool quiet) {
+scenario::Experiment::Result run_into_dir(
+    const scenario::ScenarioSpec& spec, const fs::path& dir, bool quiet,
+    telemetry::Recorder* recorder = nullptr,
+    const std::string* trace_dir = nullptr) {
   fs::create_directories(dir);
 
   // The normalized spec first: the directory documents what produced it
@@ -247,7 +256,22 @@ scenario::Experiment::Result run_into_dir(const scenario::ScenarioSpec& spec,
     fanout.attach(&*faults);
   }
 
+  // The slot trace lives in its own directory so result directories stay
+  // byte-comparable with `flashflow diff` (trace rows carry wall-clock
+  // and lane fields that legitimately differ between runs).
+  std::ofstream trace_out;
+  std::optional<telemetry::TraceJsonlSink> trace;
+  if (recorder && recorder->trace_enabled() && trace_dir) {
+    fs::create_directories(*trace_dir);
+    trace_out.open(fs::path(*trace_dir) / "trace.jsonl");
+    if (!trace_out)
+      die("cannot write " + (fs::path(*trace_dir) / "trace.jsonl").string());
+    trace.emplace(trace_out);
+    fanout.attach(&*trace);
+  }
+
   scenario::Experiment experiment(spec);
+  if (recorder) experiment.set_telemetry(recorder);
   const auto result = experiment.run(
       &fanout, [&](const scenario::Experiment::PeriodRecord& record,
                    const campaign::CampaignResult&) {
@@ -279,6 +303,8 @@ int cmd_run(Flags& flags) {
   if (!out) die("run needs --out DIR");
   const auto threads = flags.take("threads");
   const auto seed = flags.take("seed");
+  const auto trace_dir = flags.take("trace");
+  const auto metrics_path = flags.take("metrics");
   const bool force = flags.take_switch("force");
   const bool quiet = flags.take_switch("quiet");
   flags.reject_leftovers();
@@ -289,11 +315,27 @@ int cmd_run(Flags& flags) {
     spec.threads = util::parse_int(*threads, "flag '--threads'");
   if (seed) spec.seed = util::parse_u64(*seed, "flag '--seed'");
 
+  // Telemetry is strictly additive: the recorder observes the run (and
+  // --trace additionally attaches per-slot trace rows) without changing a
+  // byte of the result files.
+  std::optional<telemetry::Recorder> recorder;
+  if (trace_dir || metrics_path) {
+    recorder.emplace();
+    if (trace_dir) recorder->enable_trace();
+  }
+
   if (!quiet)
     std::cout << "running '" << spec.name << "' (" << spec.periods
               << " period" << (spec.periods == 1 ? "" : "s") << ") -> "
               << *out << "\n";
-  const auto result = run_into_dir(spec, *out, quiet);
+  const auto result =
+      run_into_dir(spec, *out, quiet, recorder ? &*recorder : nullptr,
+                   trace_dir ? &*trace_dir : nullptr);
+  if (metrics_path) {
+    std::ofstream metrics_out(*metrics_path);
+    if (!metrics_out) die("cannot write " + *metrics_path);
+    recorder->write_metrics(metrics_out);
+  }
   if (result.cancelled) {
     std::cerr << "flashflow: run cancelled mid-experiment\n";
     return 1;
